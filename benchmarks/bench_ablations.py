@@ -1,0 +1,159 @@
+"""Ablations of SRP/GRP design choices called out in DESIGN.md.
+
+These go beyond the paper's tables: each isolates one mechanism the
+paper asserts matters (prefetch placement in the LRU way, LIFO queue
+scheduling, queue capacity, recursive chase depth) and measures it on a
+benchmark where it should bind.
+"""
+
+from conftest import save_result
+
+from repro.experiments.common import format_table
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_workload
+
+REFS = 25_000
+
+
+def _run(bench, scheme, **cfg):
+    config = MachineConfig.scaled(**cfg)
+    return run_workload(bench, scheme, config=config, limit_refs=REFS)
+
+
+def test_prefetch_insertion_position(ctx, results_dir, benchmark):
+    """LRU insertion (the paper's pollution control) vs MRU insertion.
+
+    On ammp — where SRP prefetches are almost pure pollution — inserting
+    prefetches at MRU must displace more useful data than LRU insertion.
+    """
+    def run():
+        rows = []
+        for bench in ("ammp", "twolf"):
+            base = _run(bench, "none")
+            lru = _run(bench, "srp", prefetch_insert="lru")
+            mru = _run(bench, "srp", prefetch_insert="mru")
+            rows.append([
+                bench,
+                round(lru.speedup_over(base), 3),
+                round(mru.speedup_over(base), 3),
+                round(lru.coverage_over(base), 3),
+                round(mru.coverage_over(base), 3),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["benchmark", "LRU speedup", "MRU speedup", "LRU cov", "MRU cov"],
+        rows, title="Ablation: prefetch insertion position (SRP)",
+    )
+    save_result(results_dir, "ablation_insertion", rendered)
+    for row in rows:
+        assert row[1] >= row[2] * 0.97, row[0]  # LRU no worse than MRU
+
+
+def test_queue_scheduling_policy(ctx, results_dir, benchmark):
+    """LIFO (newest region first, the paper's choice) vs FIFO."""
+    def run():
+        rows = []
+        for bench in ("swim", "wupwise"):
+            base = _run(bench, "none")
+            lifo = _run(bench, "srp", prefetch_queue_policy="lifo")
+            fifo = _run(bench, "srp", prefetch_queue_policy="fifo")
+            rows.append([
+                bench,
+                round(lifo.speedup_over(base), 3),
+                round(fifo.speedup_over(base), 3),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["benchmark", "LIFO speedup", "FIFO speedup"], rows,
+        title="Ablation: prefetch queue scheduling (SRP)",
+    )
+    save_result(results_dir, "ablation_queue_policy", rendered)
+    for row in rows:
+        assert row[1] >= row[2] * 0.9, row[0]
+
+
+def test_queue_capacity(ctx, results_dir, benchmark):
+    """32 entries (paper) vs 8 and 128."""
+    def run():
+        rows = []
+        base = _run("swim", "none")
+        for size in (8, 32, 128):
+            stats = _run("swim", "srp", prefetch_queue_size=size)
+            rows.append([
+                size,
+                round(stats.speedup_over(base), 3),
+                round(stats.traffic_ratio_over(base), 2),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["queue size", "speedup", "traffic"], rows,
+        title="Ablation: prefetch queue capacity (SRP on swim)",
+    )
+    save_result(results_dir, "ablation_queue_size", rendered)
+    speedups = [row[1] for row in rows]
+    assert max(speedups) / min(speedups) < 1.5  # no cliff
+
+
+def test_indirect_encoding(ctx, results_dir, benchmark):
+    """Section 3.3.3's two indirect encodings on the indirect benchmarks.
+
+    The explicit-instruction mode prefetches on every index-block
+    crossing; the hint-bit mode only expands on b[i] *misses* and can
+    track one indirection array per base register — the paper predicts
+    it trades overhead for coverage.
+    """
+    def run():
+        rows = []
+        for bench in ("vpr", "bzip2"):
+            base = _run(bench, "none")
+            inst = _run(bench, "grp")
+            bit = _run(bench, "grp-hintbit")
+            rows.append([
+                bench,
+                round(inst.speedup_over(base), 3),
+                round(bit.speedup_over(base), 3),
+                round(inst.traffic_ratio_over(base), 2),
+                round(bit.traffic_ratio_over(base), 2),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["benchmark", "instr speedup", "hint-bit speedup",
+         "instr traffic", "hint-bit traffic"],
+        rows, title="Ablation: indirect prefetch encoding (GRP)",
+    )
+    save_result(results_dir, "ablation_indirect_encoding", rendered)
+    for row in rows:
+        assert row[2] > 1.0, row[0]  # the alternate encoding still helps
+        assert row[1] >= row[2] * 0.95, row[0]  # instruction mode >= hint-bit
+
+
+def test_recursive_depth(ctx, results_dir, benchmark):
+    """Recursive chase depth: 6 (paper) vs 1, 3, 12 on mcf."""
+    def run():
+        rows = []
+        base = _run("mcf", "none")
+        for depth in (1, 3, 6, 12):
+            stats = _run("mcf", "grp", recursive_depth=depth)
+            rows.append([
+                depth,
+                round(stats.speedup_over(base), 3),
+                round(stats.traffic_ratio_over(base), 2),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        ["depth", "speedup", "traffic"], rows,
+        title="Ablation: recursive pointer chase depth (GRP on mcf)",
+    )
+    save_result(results_dir, "ablation_recursive_depth", rendered)
+    # Deeper chases cost traffic.
+    assert rows[-1][2] >= rows[0][2] * 0.95

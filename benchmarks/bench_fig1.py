@@ -1,0 +1,26 @@
+"""Regenerate Figure 1: base vs perfect-L1 vs perfect-L2 vs GRP IPC."""
+
+from conftest import save_result
+
+from repro.experiments import fig1
+from repro.report.bars import chart_from_result
+
+
+def test_fig1(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig1.run(ctx), rounds=1, iterations=1
+    )
+    chart = chart_from_result(
+        result, {"base": 1, "perfect-L2": 2, "GRP": 4})
+    save_result(results_dir, "fig1", result.render() + "\n\n" + chart)
+
+    for row in result.rows:
+        bench, base, perfect_l2, perfect_l1, grp, gap = row
+        assert perfect_l2 >= base * 0.99, bench
+        assert perfect_l1 >= perfect_l2 * 0.95, bench
+        assert grp >= base * 0.95, bench
+    # The paper's geomean base gap is 33.7%; ours should be in the same
+    # regime (the per-benchmark targets are calibrated, see DESIGN.md).
+    gaps = [row[5] for row in result.rows]
+    mean_gap = sum(gaps) / len(gaps)
+    assert 20.0 < mean_gap < 55.0

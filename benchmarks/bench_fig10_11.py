@@ -1,0 +1,40 @@
+"""Regenerate Figures 10 and 11: stride vs SRP vs GRP speedups."""
+
+from conftest import save_result
+
+from repro.experiments import fig10_11
+from repro.report.bars import chart_from_result
+
+
+def test_fig10_integer(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_11.run(ctx), rounds=1, iterations=1
+    )
+    chart = chart_from_result(
+        result, {"stride": 1, "SRP": 2, "GRP": 3, "perfect-L2": 4})
+    save_result(results_dir, "fig10", result.render() + "\n\n" + chart)
+
+    rows = {row[0]: row for row in result.rows}
+    # bzip2: GRP's indirect prefetching beats SRP (the paper's 4% gap).
+    assert rows["bzip2"][3] > rows["bzip2"][2]
+    # No scheme exceeds the perfect-L2 bound by more than noise.
+    for bench, row in rows.items():
+        for idx in (1, 2, 3):
+            assert row[idx] <= row[4] * 1.1, bench
+
+
+def test_fig11_floating_point(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_11.run_fp(ctx), rounds=1, iterations=1
+    )
+    chart = chart_from_result(
+        result, {"stride": 1, "SRP": 2, "GRP": 3, "perfect-L2": 4})
+    save_result(results_dir, "fig11", result.render() + "\n\n" + chart)
+
+    rows = {row[0]: row for row in result.rows}
+    # Region prefetching beats stride on the multi-stream FP codes.
+    for bench in ("wupwise", "swim", "apsi"):
+        assert rows[bench][2] > rows[bench][1], bench
+    for bench, row in rows.items():
+        for idx in (1, 2, 3):
+            assert row[idx] <= row[4] * 1.1, bench

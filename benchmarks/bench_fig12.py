@@ -1,0 +1,26 @@
+"""Regenerate Figure 12: normalized memory traffic."""
+
+from conftest import save_result
+
+from repro.experiments import fig12
+from repro.report.bars import chart_from_result
+
+
+def test_fig12(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12.run(ctx), rounds=1, iterations=1
+    )
+    chart = chart_from_result(result, {"stride": 1, "SRP": 2, "GRP": 3})
+    save_result(results_dir, "fig12", result.render() + "\n\n" + chart)
+
+    geomean = result.row_by_key("geomean")
+    stride_traffic, srp_traffic, grp_traffic = geomean[1:4]
+    # The paper's central traffic claim: SRP's increase dwarfs GRP's,
+    # and GRP sits close to stride.
+    assert srp_traffic > 2.0
+    assert grp_traffic < srp_traffic / 2.0
+    assert grp_traffic < 2.0
+    assert stride_traffic < 1.6
+    # Per-benchmark: GRP never uses meaningfully more traffic than SRP.
+    for row in result.rows[:-1]:
+        assert row[3] <= row[2] * 1.1, row[0]

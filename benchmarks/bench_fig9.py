@@ -1,0 +1,28 @@
+"""Regenerate Figure 9: pointer-prefetching gains on the C benchmarks."""
+
+from conftest import save_result
+
+from repro.experiments import fig9
+from repro.report.bars import chart_from_result
+
+
+def test_fig9(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9.run(ctx), rounds=1, iterations=1
+    )
+    chart = chart_from_result(
+        result, {"pointer": 1, "recursive": 2, "SRP": 3})
+    save_result(results_dir, "fig9", result.render() + "\n\n" + chart)
+
+    rows = {row[0]: row for row in result.rows}
+    # equake is the paper's headline pointer-prefetching win (48.3%):
+    # the gain comes from prefetching heap arrays of pointers.
+    assert rows["equake"][1] > 1.10
+    # Pointer prefetching never catastrophically degrades performance.
+    for bench, row in rows.items():
+        assert row[1] > 0.85, bench
+        assert row[2] > 0.85, bench
+    # SRP generally performs at least as well as pointer prefetching
+    # (the paper: on all but twolf and sphinx).
+    wins = sum(1 for row in rows.values() if row[3] >= row[1] * 0.98)
+    assert wins >= len(rows) - 3

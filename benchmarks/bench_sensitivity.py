@@ -1,0 +1,22 @@
+"""Regenerate Section 5.4: compiler spatial-policy sensitivity."""
+
+from conftest import save_result
+
+from repro.experiments import sensitivity
+
+
+def test_policy_sensitivity(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity.run(ctx), rounds=1, iterations=1
+    )
+    detail = sensitivity.run_per_benchmark(ctx)
+    save_result(results_dir, "sensitivity",
+                result.render() + "\n\n" + detail.render())
+
+    rows = {row[0]: row for row in result.rows}
+    # Conservative marks less -> no more traffic than default, and it
+    # must not beat default on performance (the paper: ~5% mean loss).
+    assert rows["conservative"][2] <= rows["default"][2] * 1.02
+    assert rows["conservative"][1] <= rows["default"][1] * 1.02
+    # Aggressive marks more -> at least as much traffic as default.
+    assert rows["aggressive"][2] >= rows["default"][2] * 0.98

@@ -1,0 +1,30 @@
+"""Regenerate Table 1: summary speedup / traffic / perfect-L2 gap.
+
+Shape checks (the paper's headline claims):
+
+* every prefetcher beats no prefetching;
+* SRP and GRP beat stride prefetching;
+* SRP's traffic increase is several times GRP's;
+* GRP/Var needs less traffic than GRP/Fix.
+"""
+
+from conftest import save_result
+
+from repro.experiments import table1
+
+
+def test_table1(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: table1.run(ctx), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table1", result.render())
+
+    speedup = {row[0]: row[1] for row in result.rows}
+    traffic = {row[0]: row[2] for row in result.rows}
+    assert speedup["Stride prefetching"] > 1.05
+    assert speedup["SRP"] > speedup["Stride prefetching"]
+    assert speedup["GRP/Var"] > speedup["Stride prefetching"]
+    assert speedup["GRP/Var"] > 0.9 * speedup["SRP"]
+    assert traffic["SRP"] > 2.0 * traffic["GRP/Var"]
+    assert traffic["GRP/Var"] <= traffic["GRP/Fix"]
+    assert traffic["GRP/Var"] < 2.0

@@ -1,0 +1,27 @@
+"""Regenerate Table 3: static compiler-hint counts per benchmark."""
+
+from conftest import save_result
+
+from repro.experiments import table3
+
+
+def test_table3(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: table3.run(ctx), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table3", result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    # Fortran codes carry no pointer or recursive hints (Table 3).
+    for bench in ("wupwise", "swim", "mgrid", "applu", "apsi"):
+        assert rows[bench][3] == 0, bench
+        assert rows[bench][4] == 0, bench
+    # The recursive-structure benchmarks do.
+    for bench in ("mcf", "parser", "twolf", "sphinx"):
+        assert rows[bench][4] > 0, bench
+    # The indirect benchmarks emit indirect prefetch instructions.
+    for bench in ("vpr", "bzip2"):
+        assert rows[bench][6] > 0, bench
+    # Every benchmark has some hinted references.
+    for bench, row in rows.items():
+        assert 0.0 < row[5] <= 100.0, bench

@@ -1,0 +1,27 @@
+"""Regenerate Table 4: GRP/Var vs GRP/Fix traffic and region sizes."""
+
+from conftest import save_result
+
+from repro.experiments import table4
+
+
+def test_table4(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: table4.run(ctx), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table4", result.render())
+
+    for row in result.rows:
+        bench, var_traffic, fix_traffic = row[0], row[1], row[2]
+        pct_small = row[3] + row[4]  # 2- and 4-block regions
+        perf_ratio = row[7]
+        # Variable regions must not increase traffic, and the bulk of the
+        # sized regions are small (paper: 76.8-90.3% are 2 blocks).
+        assert var_traffic <= fix_traffic * 1.02, bench
+        assert pct_small > 50.0, bench
+        # Performance stays within a few percent of GRP/Fix.
+        assert perf_ratio > 0.90, bench
+    # mesa and sphinx show a real traffic gap between Var and Fix.
+    gaps = {row[0]: row[2] - row[1] for row in result.rows}
+    assert gaps["mesa"] >= 0.0
+    assert gaps["sphinx"] >= 0.0

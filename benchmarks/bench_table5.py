@@ -1,0 +1,30 @@
+"""Regenerate Table 5: coverage, accuracy, and traffic per benchmark.
+
+Suite-level shape (paper's averages): stride has the highest accuracy
+and the lowest coverage; SRP the best coverage and worst accuracy; GRP
+sits between on accuracy with coverage near SRP's.
+"""
+
+from conftest import save_result
+
+from repro.experiments import table5
+
+
+def test_table5(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: table5.run(ctx), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table5", result.render())
+
+    avg = result.row_by_key("average")
+    str_cov, str_acc = avg[3], avg[4]
+    srp_cov, srp_acc = avg[6], avg[7]
+    grp_cov, grp_acc = avg[9], avg[10]
+    assert str_acc > srp_acc  # stride most accurate
+    assert grp_acc > srp_acc  # GRP accuracy between stride and SRP
+    assert srp_cov > str_cov  # SRP best coverage
+    assert grp_cov > str_cov * 0.9  # GRP coverage near SRP, above stride
+    # Per-benchmark: accuracies are percentages.
+    for row in result.rows:
+        for idx in (4, 7, 10):
+            assert 0.0 <= row[idx] <= 100.0

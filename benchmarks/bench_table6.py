@@ -1,0 +1,23 @@
+"""Regenerate Table 6: the stubborn benchmarks' remaining gaps."""
+
+from conftest import save_result
+
+from repro.experiments import table6
+
+
+def test_table6(ctx, results_dir, benchmark):
+    result = benchmark.pedantic(
+        lambda: table6.run(ctx), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table6", result.render())
+
+    gaps = {row[0]: row[1] for row in result.rows}
+    # All seven keep a visible gap to a perfect L2 under GRP.  (The
+    # paper notes GRP pulls bzip2 and ammp under 15%; the rest stay
+    # well above.)
+    for bench, gap in gaps.items():
+        assert gap > 5.0, bench
+    for bench in ("mcf", "swim", "art", "sphinx"):
+        assert gaps[bench] > 15.0, bench
+    # mcf (tree traversal) stays the worst or near-worst, as in the paper.
+    assert gaps["mcf"] >= max(gaps.values()) * 0.6

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  They share
+one :class:`ExperimentContext`, so each (benchmark, scheme) simulation
+runs exactly once per session no matter how many tables slice it.
+
+Environment knobs:
+
+``REPRO_BENCH_REFS``
+    Memory references simulated per run (default 40000).  Larger values
+    sharpen the numbers at proportional cost; the EXPERIMENTS.md results
+    were recorded at 60000.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    limit = int(os.environ.get("REPRO_BENCH_REFS", "40000"))
+    return ExperimentContext(limit_refs=limit)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir, name, rendered):
+    """Write a rendered table both to disk and to the terminal."""
+    path = results_dir / ("%s.txt" % name)
+    path.write_text(rendered + "\n")
+    print()
+    print(rendered)

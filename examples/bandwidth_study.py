@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Bandwidth study: why GRP's traffic efficiency matters.
+
+The paper's motivation for GRP is not uniprocessor speed — SRP already
+delivers that — but *bandwidth*: "off-chip bandwidth will be the
+dominant limiter of scalability for future chip multiprocessors".  This
+script sweeps the DRAM channel count from 4 down to 1, emulating the
+per-core bandwidth share in a CMP, and compares SRP and GRP on vpr and
+twolf, the benchmarks where SRP's prefetch stream is mostly waste
+(~10-16x traffic vs GRP's ~1x).
+
+As channels shrink, SRP's useless prefetch traffic competes with its
+useful prefetches and with demand fetches, so its speedup erodes faster
+than GRP's.
+
+Usage:  python examples/bandwidth_study.py [refs]
+"""
+
+import sys
+
+from repro.mem.dram import DRAMConfig
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_workload
+
+BENCHMARKS = ["vpr", "twolf"]
+CHANNELS = [4, 2, 1]
+
+
+def main():
+    refs = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    for bench in BENCHMARKS:
+        print("\n=== %s ===" % bench)
+        header = "%-9s %12s %12s %12s %12s" % (
+            "channels", "SRP speedup", "GRP speedup", "SRP traffic",
+            "GRP traffic")
+        print(header)
+        print("-" * len(header))
+        for channels in CHANNELS:
+            config = MachineConfig.scaled(
+                dram=DRAMConfig(channels=channels)
+            )
+            base = run_workload(bench, "none", config=config,
+                                limit_refs=refs)
+            srp = run_workload(bench, "srp", config=config,
+                               limit_refs=refs)
+            grp = run_workload(bench, "grp", config=config,
+                               limit_refs=refs)
+            print("%-9d %12.3f %12.3f %11.2fx %11.2fx" % (
+                channels,
+                srp.speedup_over(base),
+                grp.speedup_over(base),
+                srp.traffic_ratio_over(base),
+                grp.traffic_ratio_over(base),
+            ))
+    print("\nWith fewer channels (a CMP's per-core share), wasted "
+          "prefetch traffic turns\nfrom free to expensive: SRP's "
+          "speedup erodes faster than GRP's, at ~10x the\nbytes "
+          "moved -- the paper's CMP-scalability argument for hint-"
+          "guided prefetching.")
+
+
+if __name__ == "__main__":
+    main()

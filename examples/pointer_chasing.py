@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Pointer-chasing scenario: build a custom linked-data workload and
+watch how each engine copes — the Figure 9 story in miniature.
+
+The script constructs two versions of the same linked-list traversal:
+
+* ``sequential`` — nodes allocated back to back, the layout SPEC's
+  allocators tend to produce.  Aggressive *spatial* prefetching (SRP)
+  covers this without understanding pointers at all, which is the
+  paper's headline negative result for pointer prefetching.
+* ``shuffled`` — link order randomized over the heap (mcf/twolf-style).
+  Now spatial prefetching mostly pollutes, and only pointer-aware
+  engines (the stateless scan, or GRP's hinted version of it) make
+  progress.
+
+Usage:  python examples/pointer_chasing.py [nodes] [refs]
+"""
+
+import sys
+
+from repro.compiler.ir import (
+    Compute,
+    ForLoop,
+    PointerVar,
+    Program,
+    PtrChase,
+    PtrRef,
+    Sym,
+    Var,
+    WhileLoop,
+)
+from repro.compiler.symbols import StructDecl
+from repro.sim.runner import run_workload
+from repro.workloads.base import Built, Workload
+from repro.workloads.common import build_linked_list
+
+SCHEMES = ["stride", "srp", "pointer", "pointer-recursive", "grp"]
+
+
+class ListWalk(Workload):
+    """A list traversal touching a payload field per node."""
+
+    category = "int"
+    language = "c"
+    ops_scale = 8.0
+
+    def __init__(self, layout, nodes):
+        self.name = "listwalk-%s" % layout
+        self.layout = layout
+        self.nodes = nodes
+
+    def build(self, space, scale=1.0):
+        node = StructDecl("node_t")
+        node.add_scalar("key", 8)
+        node.add_scalar("payload", 8)
+        node.add_pointer("next", target="node_t")
+        head = build_linked_list(space, node, self.nodes,
+                                 layout=self.layout)
+        p = PointerVar("p", struct="node_t")
+        t = Var("t")
+        walk = WhileLoop(Sym("n"), [
+            PtrRef(p, field=node.field("key")),
+            PtrRef(p, field=node.field("payload"), is_store=True),
+            PtrChase(p, node.field("next")),
+            Compute(6),
+        ])
+        program = Program(self.name.replace("-", "_"), [
+            ForLoop(t, 0, 1000, [walk]),
+        ], bindings={"n": self.nodes})
+        return Built(program, pointer_bindings={"p": head})
+
+
+def main():
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 16384
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+
+    for layout in ("sequential", "shuffled"):
+        workload = ListWalk(layout, nodes)
+        base = run_workload(workload, "none", limit_refs=refs)
+        print("\n=== %s layout (%d nodes, base IPC %.3f) ==="
+              % (layout, nodes, base.ipc))
+        header = "%-18s %8s %9s %9s" % ("scheme", "speedup", "traffic",
+                                        "accuracy")
+        print(header)
+        print("-" * len(header))
+        for scheme in SCHEMES:
+            workload = ListWalk(layout, nodes)
+            stats = run_workload(workload, scheme, limit_refs=refs)
+            print("%-18s %8.3f %8.2fx %8.1f%%" % (
+                scheme,
+                stats.speedup_over(base),
+                stats.traffic_ratio_over(base),
+                100 * stats.prefetch_accuracy,
+            ))
+    print("\nSequential layout: plain region prefetching (srp) covers a "
+          "pointer structure\nwithout chasing a single pointer — the "
+          "paper's Section 5.2 observation.\nShuffled layout: only the "
+          "pointer-aware engines help, and GRP's hints keep\ntheir "
+          "traffic in check.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under every prefetching scheme.
+
+This is the five-minute tour of the public API:
+
+1. pick a workload (here vpr, the indirect-access benchmark),
+2. run it under each scheme with ``run_workload``,
+3. compare speedup, traffic, coverage, and accuracy against the
+   no-prefetching baseline — the exact quantities the paper's Tables 1
+   and 5 report.
+
+Usage:  python examples/quickstart.py [benchmark] [refs]
+"""
+
+import sys
+
+from repro import run_workload
+from repro.workloads import workload_names
+
+SCHEMES = ["stride", "srp", "grp-fix", "grp"]
+
+
+def main():
+    bench = sys.argv[1] if len(sys.argv) > 1 else "vpr"
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
+    if bench not in workload_names():
+        raise SystemExit(
+            "unknown benchmark %r; choose from: %s"
+            % (bench, ", ".join(workload_names()))
+        )
+
+    print("benchmark: %s  (%d memory references per run)" % (bench, refs))
+    base = run_workload(bench, "none", limit_refs=refs)
+    perfect = run_workload(bench, "none", mode="perfect_l2",
+                           limit_refs=refs)
+    print("baseline IPC %.3f; perfect-L2 IPC %.3f (gap %.1f%%)\n"
+          % (base.ipc, perfect.ipc,
+             100 * (1 - base.ipc / perfect.ipc)))
+
+    header = "%-8s %8s %9s %9s %9s" % (
+        "scheme", "speedup", "traffic", "coverage", "accuracy")
+    print(header)
+    print("-" * len(header))
+    for scheme in SCHEMES:
+        stats = run_workload(bench, scheme, limit_refs=refs)
+        print("%-8s %8.3f %8.2fx %8.1f%% %8.1f%%" % (
+            scheme,
+            stats.speedup_over(base),
+            stats.traffic_ratio_over(base),
+            100 * stats.coverage_over(base),
+            100 * stats.prefetch_accuracy,
+        ))
+    print("\ntraffic is DRAM bytes relative to no prefetching; coverage "
+          "is the reduction\nin demand fetches reaching DRAM; accuracy "
+          "is the fraction of prefetched\nblocks referenced before "
+          "eviction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The pinned environment has no ``wheel`` package and no network access, so
+PEP 517 editable installs (which build an editable wheel) cannot run.
+Keeping a classic ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Guided Region Prefetching (GRP, ISCA 2003) reproduction: "
+        "trace-driven memory hierarchy simulator, prefetch engines, and "
+        "hint-generating mini-compiler"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

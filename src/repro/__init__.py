@@ -1,0 +1,19 @@
+"""repro — a full reproduction of Guided Region Prefetching (ISCA 2003).
+
+Public API highlights:
+
+* :func:`repro.sim.runner.run_workload` — run any benchmark under any
+  prefetching scheme and get back the run statistics.
+* :class:`repro.sim.config.MachineConfig` — the simulated machine.
+* :mod:`repro.compiler` — the hint-generating mini-compiler.
+* :mod:`repro.prefetch` — GRP and every baseline engine.
+* :mod:`repro.workloads` — the 18 synthetic SPEC2000-like benchmarks.
+* :mod:`repro.experiments` — regenerate every table and figure.
+"""
+
+from repro.sim.config import MachineConfig
+from repro.sim.runner import SCHEMES, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = ["MachineConfig", "SCHEMES", "run_workload", "__version__"]

@@ -1,0 +1,22 @@
+"""The mini-compiler: a loop-structured IR plus the five GRP hint analyses.
+
+This package stands in for the Scale compiler infrastructure the paper used.
+Workloads are written in the IR (:mod:`repro.compiler.ir`); the passes in
+:mod:`repro.compiler.passes` implement Section 4 of the paper — induction
+variable recognition (including induction pointers), dependence-based
+spatial-locality detection with reuse-distance screening, pointer/recursive
+idiom analysis, indirect-array detection, and variable-size region
+encoding — and produce a :class:`repro.compiler.hints.HintTable` that the
+GRP hardware consumes at simulation time.
+"""
+
+from repro.compiler.hints import HintTable, LoadHint, FIXED_REGION_COEFF
+from repro.compiler.driver import compile_hints, CompilerPolicy
+
+__all__ = [
+    "CompilerPolicy",
+    "FIXED_REGION_COEFF",
+    "HintTable",
+    "LoadHint",
+    "compile_hints",
+]

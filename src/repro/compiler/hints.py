@@ -1,0 +1,142 @@
+"""Load-hint encoding — the software half of the hardware/software contract.
+
+The paper encodes hints in unused Alpha VAX-format floating-point load
+opcodes; the memory system propagates the bits with each request.  Here the
+encoding channel is a table keyed by static reference id (the analogue of a
+load PC): the compiler fills a :class:`HintTable`, the simulator attaches
+the matching :class:`LoadHint` to every dynamic reference, and the GRP
+engine reads the bits on L2 misses.
+
+Five hint classes (Table 2 of the paper):
+
+``spatial``
+    The reference likely exhibits spatial locality; GRP spatial-prefetches
+    only misses that carry this mark.
+``size`` (``region_coeff`` + a loop-bound directive)
+    A 3-bit coefficient; the hardware computes the prefetch region size as
+    ``loop_bound << coeff`` bytes.  Coefficient 7 is reserved to mean
+    "fixed-size region".
+``indirect``
+    Encoded as a separate prefetch *instruction* (a trace directive), not a
+    load-hint bit; see :class:`repro.trace.events.IndirectPrefetch`.
+``pointer``
+    The referenced structure contains pointers the program will follow:
+    scan the returned line once.
+``recursive``
+    The program follows those pointers recursively: scan to depth ``n``
+    (6 in the paper's experiments).
+"""
+
+FIXED_REGION_COEFF = 7
+"""Reserved 3-bit coefficient value selecting fixed-size region prefetch."""
+
+
+class LoadHint:
+    """Hint bits attached to one static memory reference."""
+
+    __slots__ = ("spatial", "pointer", "recursive", "region_coeff",
+                 "indirect")
+
+    def __init__(
+        self,
+        spatial=False,
+        pointer=False,
+        recursive=False,
+        region_coeff=FIXED_REGION_COEFF,
+        indirect=False,
+    ):
+        if not 0 <= region_coeff <= 7:
+            raise ValueError("region coefficient is a 3-bit field")
+        self.spatial = spatial
+        self.pointer = pointer
+        self.recursive = recursive
+        self.region_coeff = region_coeff
+        #: The alternate indirect encoding of Section 3.3.3: instead of a
+        #: full prefetch instruction per index block, a base-setting
+        #: instruction before the loop plus this bit on the b[i] loads.
+        self.indirect = indirect
+
+    @property
+    def any(self):
+        """True when at least one hint bit is set."""
+        return self.spatial or self.pointer or self.recursive or \
+            self.indirect
+
+    def merge(self, other):
+        """OR-combine with another hint (a load can be spatial AND pointer)."""
+        return LoadHint(
+            spatial=self.spatial or other.spatial,
+            pointer=self.pointer or other.pointer,
+            recursive=self.recursive or other.recursive,
+            region_coeff=min(self.region_coeff, other.region_coeff),
+            indirect=self.indirect or other.indirect,
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, LoadHint):
+            return NotImplemented
+        return (
+            self.spatial == other.spatial
+            and self.pointer == other.pointer
+            and self.recursive == other.recursive
+            and self.region_coeff == other.region_coeff
+            and self.indirect == other.indirect
+        )
+
+    def __repr__(self):
+        bits = []
+        if self.spatial:
+            bits.append("spatial")
+        if self.pointer:
+            bits.append("pointer")
+        if self.recursive:
+            bits.append("recursive")
+        if self.region_coeff != FIXED_REGION_COEFF:
+            bits.append("coeff=%d" % self.region_coeff)
+        if self.indirect:
+            bits.append("indirect")
+        return "LoadHint(%s)" % ",".join(bits or ["none"])
+
+
+class HintTable:
+    """Compiler output: hints per static reference, plus summary counts."""
+
+    def __init__(self):
+        self._hints = {}
+        self.indirect_directives = 0
+        self.total_refs = 0
+
+    def mark(self, ref_id, **bits):
+        """Set hint bits on ``ref_id``, merging with any existing hint."""
+        new = LoadHint(**bits)
+        old = self._hints.get(ref_id)
+        self._hints[ref_id] = new if old is None else old.merge(new)
+
+    def get(self, ref_id):
+        """Return the :class:`LoadHint` for ``ref_id``, or None."""
+        return self._hints.get(ref_id)
+
+    def __contains__(self, ref_id):
+        return ref_id in self._hints
+
+    def __len__(self):
+        return len(self._hints)
+
+    # ------------------------------------------------------------------
+    # Static counts — exactly the columns of the paper's Table 3.
+    # ------------------------------------------------------------------
+    def counts(self):
+        """Return Table 3-style static counts for this compilation unit."""
+        spatial = sum(1 for h in self._hints.values() if h.spatial)
+        pointer = sum(1 for h in self._hints.values() if h.pointer)
+        recursive = sum(1 for h in self._hints.values() if h.recursive)
+        hinted = sum(1 for h in self._hints.values() if h.any)
+        ratio = 100.0 * hinted / self.total_refs if self.total_refs else 0.0
+        return {
+            "mem_insts": self.total_refs,
+            "spatial": spatial,
+            "pointer": pointer,
+            "recursive": recursive,
+            "ratio": ratio,
+            "indirect": self.indirect_directives,
+        }

@@ -1,0 +1,24 @@
+"""Compiler analysis passes — Section 4 of the paper, one module each."""
+
+from repro.compiler.passes.nest import walk_with_loops, loops_in
+from repro.compiler.passes.induction import InductionInfo
+from repro.compiler.passes.dependence import SpatialInfo, spatial_locality
+from repro.compiler.passes.reuse import reuse_distance
+from repro.compiler.passes.spatial import generate_spatial_hints
+from repro.compiler.passes.pointer import generate_pointer_hints
+from repro.compiler.passes.indirect import IndirectInfo, detect_indirect
+from repro.compiler.passes.region import encode_region_hints
+
+__all__ = [
+    "IndirectInfo",
+    "InductionInfo",
+    "SpatialInfo",
+    "detect_indirect",
+    "encode_region_hints",
+    "generate_pointer_hints",
+    "generate_spatial_hints",
+    "loops_in",
+    "reuse_distance",
+    "spatial_locality",
+    "walk_with_loops",
+]

@@ -1,0 +1,117 @@
+"""Dependence-based spatial locality detection for affine array references.
+
+Following the paper (Section 4.1), dependence testing detects when the
+spatial dimension of an array (the row in C, the column in Fortran) is
+accessed as an affine function of a loop induction variable, and at which
+nesting level.  A reference has spatial locality with respect to loop ``L``
+when successive iterations of ``L`` move the reference by a small byte
+stride — at most a cache block.
+
+Only affine subscripts are analysable; :class:`Opaque` and
+:class:`IndexLoad` subscripts disqualify any loop whose variable they might
+depend on (which is all of them, conservatively).
+"""
+
+from repro.compiler.ir import Affine, ForLoop
+from repro.compiler.symbols import Sym
+
+
+class SpatialInfo:
+    """Result of spatial-locality detection for one reference."""
+
+    __slots__ = ("loop", "byte_stride", "is_innermost")
+
+    def __init__(self, loop, byte_stride, is_innermost):
+        #: The enclosing loop whose iterations carry the spatial reuse.
+        self.loop = loop
+        #: Bytes the reference moves per iteration of that loop.
+        self.byte_stride = byte_stride
+        #: Whether that loop is the innermost loop enclosing the reference.
+        self.is_innermost = is_innermost
+
+    def __repr__(self):
+        return "SpatialInfo(%s, %+dB, innermost=%s)" % (
+            getattr(self.loop, "loop_id", "?"),
+            self.byte_stride,
+            self.is_innermost,
+        )
+
+
+def _dim_strides(array):
+    """Element stride of each dimension, or None where extents are symbolic.
+
+    Row-major: the last dimension is contiguous; a dimension's stride is
+    the product of all faster-varying extents.  Column-major is the mirror.
+    """
+    rank = array.rank
+    strides = [None] * rank
+    if array.layout == "row":
+        order = range(rank - 1, -1, -1)
+    else:
+        order = range(rank)
+    acc = 1
+    for d in order:
+        strides[d] = acc
+        extent = array.dims[d]
+        if isinstance(extent, Sym) or acc is None:
+            acc = None
+        else:
+            acc *= extent
+    return strides
+
+
+def _stride_for_var(array, subs, var, step):
+    """Byte stride of the reference per iteration of ``var``'s loop.
+
+    Returns None when the stride cannot be computed (symbolic extents in a
+    dimension the variable drives, or unanalysable subscripts that may
+    depend on the loop).
+    """
+    strides = _dim_strides(array)
+    delta_elems = 0
+    for d, sub in enumerate(subs):
+        if not isinstance(sub, Affine):
+            # Opaque / IndexLoad: may vary with any loop -> unanalysable.
+            return None
+        coef = sub.coef(var)
+        if coef == 0:
+            continue
+        if strides[d] is None:
+            return None
+        delta_elems += coef * strides[d]
+    return delta_elems * step * array.elem_size
+
+
+def spatial_locality(array, subs, loop_stack, block_size):
+    """Detect spatial locality for ``array[subs]`` under ``loop_stack``.
+
+    Returns a :class:`SpatialInfo` for the innermost enclosing loop whose
+    iterations move the reference by ``0 < |stride| <= block_size`` bytes,
+    or None.  A zero stride is temporal (same block every iteration), which
+    region prefetching gains nothing from, so it does not qualify.
+    """
+    innermost = loop_stack[-1] if loop_stack else None
+    for loop in reversed(loop_stack):
+        if not isinstance(loop, ForLoop):
+            continue
+        byte_stride = _stride_for_var(array, subs, loop.var, loop.step)
+        if byte_stride is None or byte_stride == 0:
+            continue
+        if abs(byte_stride) <= block_size:
+            return SpatialInfo(loop, byte_stride, loop is innermost)
+    return None
+
+
+def spatial_dim_coefficient(array, subs, loop):
+    """The subscript coefficient ``b`` of ``loop.var`` in the spatial dim.
+
+    Used by the variable-region encoder: for an access pattern
+    ``a(b*i + c)`` the compiler encodes ``b * elem_size`` as the 3-bit
+    region coefficient.  Returns None when the spatial dimension is not
+    affine in the loop variable.
+    """
+    sub = subs[array.spatial_dim()]
+    if not isinstance(sub, Affine):
+        return None
+    coef = sub.coef(loop.var)
+    return coef if coef != 0 else None

@@ -1,0 +1,85 @@
+"""Pointer and recursive-pointer hint generation — Figure 8 of the paper.
+
+Rules:
+
+* Mark a field access as **pointer** when a pointer field of the same
+  structure is accessed in the same loop (so the fetched line will contain
+  addresses worth chasing).
+* Mark a pointer update as **recursive** when it updates a recurrent
+  pointer — a cursor replaced by a field that points to the cursor's own
+  structure type (``a = a->next`` over ``struct t *``).
+* Mark spatial references to **heap arrays of pointers** as pointer too
+  (Figure 4's ``buf[i]``): the prefetched pointers are rows the program is
+  about to touch.
+"""
+
+from repro.compiler.ir import (
+    HeapRowRef,
+    PtrAssignField,
+    PtrAssignFromArray,
+    PtrChase,
+    PtrRef,
+    PtrSelect,
+)
+from repro.compiler.passes.nest import LOOP_TYPES, loops_in, statements_in
+
+
+def _field_accesses(loop):
+    """All struct-field accesses anywhere inside ``loop``'s body.
+
+    Returns (stmt, struct_name, field) triples; struct_name may be None
+    when the pointer's type is unknown, in which case the access cannot be
+    matched to a structure and is skipped by the grouping rule.
+    """
+    out = []
+    for stmt in statements_in(loop):
+        if isinstance(stmt, PtrRef) and stmt.field is not None:
+            out.append((stmt, _struct_of(stmt.ptr), stmt.field))
+        elif isinstance(stmt, PtrChase):
+            out.append((stmt, _struct_of(stmt.ptr), stmt.field))
+        elif isinstance(stmt, PtrAssignField):
+            out.append((stmt, _struct_of(stmt.src), stmt.field))
+        elif isinstance(stmt, PtrSelect):
+            for field in stmt.fields:
+                out.append((stmt, _struct_of(stmt.ptr), field))
+    return out
+
+
+def _struct_of(ptr):
+    return ptr.struct
+
+
+def generate_pointer_hints(program, hint_table):
+    """Run the Figure 8 algorithm over the whole program."""
+    for loop in loops_in(program.body):
+        accesses = _field_accesses(loop)
+        structs_with_pointer_access = {
+            struct
+            for _, struct, field in accesses
+            if struct is not None and field.is_pointer
+        }
+        seen_recursive = set()
+        for stmt, struct, field in accesses:
+            if struct is not None and struct in structs_with_pointer_access:
+                hint_table.mark(stmt.ref_id, pointer=True)
+            # Recursive: the update replaces the cursor with a field that
+            # points to the cursor's own structure type.
+            if isinstance(stmt, (PtrChase, PtrSelect)):
+                if field.target is not None and field.target == struct:
+                    if stmt.ref_id not in seen_recursive:
+                        hint_table.mark(stmt.ref_id, recursive=True)
+                        seen_recursive.add(stmt.ref_id)
+
+    # Spatial references to heap arrays of pointers get the pointer hint.
+    for loop in loops_in(program.body):
+        for stmt in statements_in(loop):
+            if isinstance(stmt, HeapRowRef):
+                hint = hint_table.get(stmt.row_ref_id)
+                if hint is not None and hint.spatial and \
+                        stmt.buf.storage == "heap":
+                    hint_table.mark(stmt.row_ref_id, pointer=True)
+            elif isinstance(stmt, PtrAssignFromArray):
+                hint = hint_table.get(stmt.ref_id)
+                if hint is not None and hint.spatial and \
+                        stmt.array.storage == "heap":
+                    hint_table.mark(stmt.ref_id, pointer=True)

@@ -1,0 +1,103 @@
+"""Variable-size region analysis — Section 4.4 of the paper.
+
+For array references in **singly nested loops** (a loop with no enclosing
+loop and no loops inside it) with access pattern ``a(b*i + c)``, the
+compiler encodes ``b * elem_size`` into a 3-bit coefficient ``x`` with
+``x < 7`` and ``2**x`` closest to ``b*e``; the value 7 is reserved for
+fixed-size region prefetching.  The loop's upper bound is conveyed to the
+hardware at run time via a ``LoopBound`` directive, and the engine computes
+the region size as ``bound << x`` bytes.
+
+Induction-pointer loops get the same treatment with ``b*e`` replaced by the
+pointer step.
+"""
+
+from repro.compiler.ir import ArrayRef, ForLoop, PtrLoop, PtrRef
+from repro.compiler.passes.dependence import (
+    spatial_dim_coefficient,
+    spatial_locality,
+)
+from repro.compiler.passes.nest import LOOP_TYPES, walk_with_loops
+
+
+def encode_coefficient(bytes_per_iter):
+    """3-bit encoding: x < 7 with 2**x closest to ``bytes_per_iter``."""
+    if bytes_per_iter <= 0:
+        raise ValueError("stride must be positive")
+    best = 0
+    best_err = None
+    for x in range(7):
+        err = abs((1 << x) - bytes_per_iter)
+        if best_err is None or err < best_err:
+            best, best_err = x, err
+    return best
+
+
+def _singly_nested(loop, stack):
+    """True for loops with no enclosing loop and no loop inside."""
+    if stack:
+        return False
+    for stmt, _ in walk_with_loops(loop.body):
+        if isinstance(stmt, LOOP_TYPES):
+            return False
+    return True
+
+
+def encode_region_hints(program, hint_table, block_size):
+    """Attach region coefficients; returns the set of bound-carrying loops.
+
+    The returned set contains ``loop_id`` strings; the interpreter emits a
+    ``LoopBound`` directive when entering those loops.
+    """
+    bound_loops = set()
+    for loop, stack in walk_with_loops(program.body):
+        if not isinstance(loop, LOOP_TYPES):
+            continue
+        if not _singly_nested(loop, stack):
+            continue
+        if isinstance(loop, ForLoop):
+            marked = _encode_for_loop(loop, hint_table, block_size)
+        elif isinstance(loop, PtrLoop):
+            marked = _encode_ptr_loop(loop, hint_table, block_size)
+        else:
+            marked = False
+        if marked:
+            bound_loops.add(loop.loop_id)
+    return bound_loops
+
+
+def _encode_for_loop(loop, hint_table, block_size):
+    marked = False
+    for stmt, _ in walk_with_loops(loop.body):
+        if not isinstance(stmt, ArrayRef):
+            continue
+        hint = hint_table.get(stmt.ref_id)
+        if hint is None or not hint.spatial:
+            continue
+        info = spatial_locality(stmt.array, stmt.subs, (loop,), block_size)
+        if info is None or info.loop is not loop:
+            continue
+        coef = spatial_dim_coefficient(stmt.array, stmt.subs, loop)
+        if coef is None:
+            continue
+        stride_bytes = abs(coef) * stmt.array.elem_size
+        hint_table.mark(
+            stmt.ref_id, region_coeff=encode_coefficient(stride_bytes)
+        )
+        marked = True
+    return marked
+
+
+def _encode_ptr_loop(loop, hint_table, block_size):
+    marked = False
+    for stmt, _ in walk_with_loops(loop.body):
+        if not isinstance(stmt, PtrRef) or stmt.ptr is not loop.ptr:
+            continue
+        hint = hint_table.get(stmt.ref_id)
+        if hint is None or not hint.spatial:
+            continue
+        hint_table.mark(
+            stmt.ref_id, region_coeff=encode_coefficient(abs(loop.step))
+        )
+        marked = True
+    return marked

@@ -1,0 +1,73 @@
+"""Reuse-distance estimation.
+
+When a reference's spatial reuse is carried by a non-innermost loop, the
+blocks it revisits must survive in the L2 across one full iteration of that
+loop.  The compiler estimates the data volume touched per iteration of the
+spatial loop; if it is below the L2 capacity (and assuming sufficient
+associativity, as the paper does), the reuse is marked exploitable.
+
+The estimate is the sum over all references inside the loop of
+``elem_size x product(trip counts of the loops between)``.  Any symbolic
+trip count on the path makes the distance unknown, in which case the
+calling policy decides (the paper's default is conservative: mark only
+innermost-loop reuse when the distance is unknown).
+"""
+
+from repro.compiler.ir import (
+    ArrayRef,
+    HeapRowRef,
+    PtrArrayRef,
+    PtrAssignField,
+    PtrAssignFromArray,
+    PtrChase,
+    PtrRef,
+    PtrSelect,
+)
+from repro.compiler.passes.nest import LOOP_TYPES, trip_count, walk_with_loops
+
+
+def _ref_bytes(stmt):
+    """Bytes one dynamic execution of ``stmt`` touches."""
+    if isinstance(stmt, ArrayRef):
+        return stmt.array.elem_size
+    if isinstance(stmt, HeapRowRef):
+        return 8 + stmt.elem_size  # row pointer + element
+    if isinstance(stmt, PtrRef):
+        return stmt.size
+    if isinstance(stmt, PtrArrayRef):
+        return stmt.elem_size
+    if isinstance(stmt, (PtrChase, PtrAssignField, PtrAssignFromArray,
+                         PtrSelect)):
+        return 8
+    return 0
+
+
+def bytes_per_iteration(loop):
+    """Data volume touched by one iteration of ``loop``, or None if unknown.
+
+    Counts every memory reference in the body, multiplied by the trip
+    counts of any loops nested between ``loop`` and the reference.
+    """
+    total = 0
+    for stmt, stack in walk_with_loops(loop.body):
+        if isinstance(stmt, LOOP_TYPES):
+            continue
+        bytes_once = _ref_bytes(stmt)
+        if bytes_once == 0:
+            continue
+        multiplier = 1
+        for inner in stack:
+            trips = trip_count(inner)
+            if trips is None:
+                return None
+            multiplier *= trips
+        total += bytes_once * multiplier
+    return total
+
+
+def reuse_distance(spatial_loop):
+    """Estimated reuse distance (bytes) across one spatial-loop iteration.
+
+    None when any nested trip count is symbolic.
+    """
+    return bytes_per_iteration(spatial_loop)

@@ -1,0 +1,163 @@
+"""Spatial hint generation — the algorithm of Figure 7 in the paper.
+
+Phase 1 marks array references with detected spatial locality (gated by a
+reuse-distance screen when the reuse is not innermost) and dereferences of
+loop induction pointers with small steps.
+
+Phase 2 propagates: ``*p`` and ``p->f`` for spatial induction pointers are
+spatial, and the element access of a spatial heap-row reference inherits
+the analysis of its own column subscript.
+
+Policies (Section 5.4 of the paper):
+
+``conservative``
+    Mark only when the spatial reuse is carried by the innermost enclosing
+    loop.
+``default``
+    Innermost reuse always; outer-loop reuse only when the computed reuse
+    distance is below the L2 capacity.
+``aggressive``
+    Mark whenever spatial locality is detected, regardless of distance.
+"""
+
+from repro.compiler.ir import (
+    Affine,
+    ArrayRef,
+    HeapRowRef,
+    IndexLoad,
+    PtrArrayRef,
+    PtrAssignFromArray,
+    PtrRef,
+)
+from repro.compiler.passes.dependence import spatial_locality
+from repro.compiler.passes.induction import InductionInfo
+from repro.compiler.passes.nest import LOOP_TYPES, walk_with_loops
+from repro.compiler.passes.reuse import reuse_distance
+
+POLICIES = ("conservative", "default", "aggressive")
+
+
+def _accept(info, policy, l2_size):
+    """Apply the marking policy to a detected spatial locality."""
+    if info is None:
+        return False
+    if info.is_innermost:
+        return True
+    if policy == "conservative":
+        return False
+    if policy == "aggressive":
+        return True
+    distance = reuse_distance(info.loop)
+    return distance is not None and distance < l2_size
+
+
+def generate_spatial_hints(program, hint_table, l2_size, block_size,
+                           policy="default"):
+    """Run the Figure 7 algorithm; returns {ref_id: SpatialInfo or None}."""
+    if policy not in POLICIES:
+        raise ValueError("unknown spatial policy %r" % policy)
+    induction = InductionInfo.analyze(program.body)
+    spatial_info = {}
+
+    for stmt, stack in walk_with_loops(program.body):
+        if isinstance(stmt, LOOP_TYPES):
+            continue
+        if not stack:
+            continue  # the algorithm marks only references inside loops
+
+        if isinstance(stmt, ArrayRef):
+            info = spatial_locality(stmt.array, stmt.subs, stack, block_size)
+            if _accept(info, policy, l2_size):
+                hint_table.mark(stmt.ref_id, spatial=True)
+                spatial_info[stmt.ref_id] = info
+            # Index-array loads inside the subscripts (b(i) in a(b(i)))
+            # are references of their own; dependence testing detects
+            # their spatial reuse "in the standard way" (Section 4.3).
+            for sub in stmt.subs:
+                if isinstance(sub, IndexLoad) and isinstance(sub.sub, Affine):
+                    idx_info = spatial_locality(
+                        sub.index_array, [sub.sub], stack, block_size
+                    )
+                    if _accept(idx_info, policy, l2_size):
+                        hint_table.mark(sub.ref_id, spatial=True)
+                        spatial_info[sub.ref_id] = idx_info
+
+        elif isinstance(stmt, HeapRowRef):
+            # buf[i]: the row-pointer load is a 1-D access of the pointer
+            # array; buf[i][j]: the element access is a 1-D access of the
+            # row with the column subscript.
+            row_info = spatial_locality(
+                stmt.buf, [stmt.row_sub], stack, block_size
+            )
+            if _accept(row_info, policy, l2_size):
+                hint_table.mark(stmt.row_ref_id, spatial=True)
+                spatial_info[stmt.row_ref_id] = row_info
+            elem_info = _heap_elem_spatial(stmt, stack, block_size)
+            if _accept(elem_info, policy, l2_size):
+                hint_table.mark(stmt.elem_ref_id, spatial=True)
+                spatial_info[stmt.elem_ref_id] = elem_info
+
+        elif isinstance(stmt, PtrArrayRef):
+            info = _ptr_array_spatial(stmt, stack, block_size)
+            if _accept(info, policy, l2_size):
+                hint_table.mark(stmt.ref_id, spatial=True)
+                spatial_info[stmt.ref_id] = info
+
+        elif isinstance(stmt, PtrAssignFromArray):
+            info = spatial_locality(stmt.array, [stmt.sub], stack, block_size)
+            if _accept(info, policy, l2_size):
+                hint_table.mark(stmt.ref_id, spatial=True)
+                spatial_info[stmt.ref_id] = info
+
+        elif isinstance(stmt, PtrRef):
+            # Phase 2 of Figure 7: dereferences of loop induction pointers
+            # with a small constant step are spatial.
+            step = induction.pointer_step(stmt.ptr)
+            if step is not None and 0 < abs(step) <= block_size:
+                hint_table.mark(stmt.ref_id, spatial=True)
+                loop = induction.pointer_loop(stmt.ptr)
+                spatial_info[stmt.ref_id] = _PointerSpatial(loop, step)
+
+    return spatial_info
+
+
+def _ptr_array_spatial(stmt, stack, block_size):
+    """Spatial analysis of ``p[sub]``: a heap array with an unknown base."""
+    from repro.compiler.symbols import ArrayDecl, Sym
+
+    row = ArrayDecl(
+        "%s_target" % stmt.ptr.name,
+        stmt.elem_size,
+        [Sym("%s_len" % stmt.ptr.name)],
+        storage="heap",
+    )
+    return spatial_locality(row, [stmt.sub], stack, block_size)
+
+
+def _heap_elem_spatial(stmt, stack, block_size):
+    """Spatial analysis of ``row[j]`` inside ``buf[i][j]``.
+
+    The row is a heap array of ``elem_size`` elements; wrap it in a
+    throwaway 1-D declaration so the standard dependence test applies
+    (the paper handles C heap arrays "using the same analysis").
+    """
+    from repro.compiler.symbols import ArrayDecl, Sym
+
+    row = ArrayDecl(
+        "%s_row" % stmt.buf.name,
+        stmt.elem_size,
+        [Sym("%s_cols" % stmt.buf.name)],
+        storage="heap",
+    )
+    return spatial_locality(row, [stmt.col_sub], stack, block_size)
+
+
+class _PointerSpatial:
+    """SpatialInfo-alike for induction-pointer dereferences."""
+
+    __slots__ = ("loop", "byte_stride", "is_innermost")
+
+    def __init__(self, loop, byte_stride):
+        self.loop = loop
+        self.byte_stride = byte_stride
+        self.is_innermost = True

@@ -1,0 +1,5 @@
+"""The out-of-order core timing model."""
+
+from repro.cpu.core import Core
+
+__all__ = ["Core"]

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+Each module exposes ``run(ctx)`` returning an experiment result whose
+``render()`` produces the table/figure data as text.  Use
+:class:`repro.experiments.common.ExperimentContext` to share cached
+simulation runs across experiments.
+"""
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    C_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    PERF_BENCHMARKS,
+    ExperimentContext,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "C_BENCHMARKS",
+    "ExperimentContext",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "PERF_BENCHMARKS",
+]

@@ -1,0 +1,66 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.experiments                  # everything, default size
+    python -m repro.experiments --refs 60000     # longer traces
+    python -m repro.experiments table1 fig12     # a subset
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig1,
+    fig9,
+    fig10_11,
+    fig12,
+    sensitivity,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentContext
+
+RUNNERS = {
+    "fig1": lambda ctx: [fig1.run(ctx)],
+    "table1": lambda ctx: [table1.run(ctx)],
+    "table3": lambda ctx: [table3.run(ctx)],
+    "table4": lambda ctx: [table4.run(ctx)],
+    "table5": lambda ctx: [table5.run(ctx)],
+    "table6": lambda ctx: [table6.run(ctx)],
+    "fig9": lambda ctx: [fig9.run(ctx)],
+    "fig10_11": lambda ctx: [fig10_11.run(ctx), fig10_11.run_fp(ctx)],
+    "fig12": lambda ctx: [fig12.run(ctx)],
+    "sensitivity": lambda ctx: [sensitivity.run(ctx),
+                                sensitivity.run_per_benchmark(ctx)],
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the GRP paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        choices=[[], *RUNNERS][1:] or None,
+                        help="subset to run (default: all)")
+    parser.add_argument("--refs", type=int, default=40_000,
+                        help="memory references per run (default 40000)")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(RUNNERS)
+    ctx = ExperimentContext(limit_refs=args.refs)
+    start = time.time()
+    for name in names:
+        for result in RUNNERS[name](ctx):
+            print(result.render())
+            print()
+    print("done in %.1fs" % (time.time() - start), file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

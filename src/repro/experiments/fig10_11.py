@@ -1,0 +1,50 @@
+"""Figures 10 and 11: region vs stride prefetching speedups.
+
+Figure 10 plots integer benchmarks, Figure 11 floating point; both show
+speedup over no prefetching for stride, SRP, and GRP, with a perfect-L2
+reference.  Suite-level shape: SRP and GRP beat stride in most cases and
+track each other closely; GRP wins visibly on swim/art/bzip2 (traffic
+or indirect effects) and trails slightly on gzip/mcf/parser/gap (misses
+whose locality the compiler cannot see).
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+)
+
+
+def _rows(ctx, names):
+    rows = []
+    for bench in names:
+        perfect = ctx.run(bench, "none", mode="perfect_l2")
+        base = ctx.run(bench, "none")
+        rows.append([
+            bench,
+            round(ctx.speedup(bench, "stride"), 3),
+            round(ctx.speedup(bench, "srp"), 3),
+            round(ctx.speedup(bench, "grp"), 3),
+            round(perfect.ipc / base.ipc if base.ipc else 0.0, 3),
+        ])
+    return rows
+
+
+def run(ctx, benchmarks=None):
+    int_rows = _rows(ctx, benchmarks or INT_BENCHMARKS)
+    return ExperimentResult(
+        "Figure 10: region and stride prefetching, integer benchmarks "
+        "(speedup over no prefetching)",
+        ["benchmark", "stride", "SRP", "GRP", "perfect-L2"],
+        int_rows,
+    )
+
+
+def run_fp(ctx, benchmarks=None):
+    fp_rows = _rows(ctx, benchmarks or FP_BENCHMARKS)
+    return ExperimentResult(
+        "Figure 11: region and stride prefetching, floating-point "
+        "benchmarks (speedup over no prefetching)",
+        ["benchmark", "stride", "SRP", "GRP", "perfect-L2"],
+        fp_rows,
+    )

@@ -1,0 +1,33 @@
+"""Figure 12: normalized memory traffic.
+
+Per-benchmark DRAM traffic for stride, SRP, and GRP normalized to no
+prefetching.  Paper shape: SRP ranges from +2% to 25.5x (geomean 2.80);
+GRP averages +23%; stride +9%.  GRP cuts >20% of SRP's traffic on ten
+of seventeen benchmarks and >50% on six.
+"""
+
+from repro.experiments.common import ExperimentResult, PERF_BENCHMARKS
+from repro.sim.stats import geometric_mean
+
+
+def run(ctx, benchmarks=None):
+    names = benchmarks or PERF_BENCHMARKS
+    rows = []
+    for bench in names:
+        rows.append([
+            bench,
+            round(ctx.traffic_ratio(bench, "stride"), 2),
+            round(ctx.traffic_ratio(bench, "srp"), 2),
+            round(ctx.traffic_ratio(bench, "grp"), 2),
+        ])
+    rows.append([
+        "geomean",
+        round(geometric_mean([r[1] for r in rows]), 2),
+        round(geometric_mean([r[2] for r in rows]), 2),
+        round(geometric_mean([r[3] for r in rows]), 2),
+    ])
+    return ExperimentResult(
+        "Figure 12: normalized memory traffic (vs no prefetching)",
+        ["benchmark", "stride", "SRP", "GRP"],
+        rows,
+    )

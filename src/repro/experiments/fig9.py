@@ -1,0 +1,32 @@
+"""Figure 9: performance gains from pointer prefetching.
+
+Pure hardware pointer prefetching (and its recursive variant) applied to
+the C benchmarks, compared against SRP.  Paper headlines: a 48.3% boost
+on equake, 15.9% on mcf, 14.4% on sphinx — gains that come from
+prefetching heap arrays of pointers, not from chasing real linked
+structures — while SRP beats pointer prefetching everywhere except
+twolf and sphinx (by ~2%).
+"""
+
+from repro.experiments.common import C_BENCHMARKS, ExperimentResult
+
+
+def run(ctx, benchmarks=None):
+    names = benchmarks or C_BENCHMARKS
+    rows = []
+    for bench in names:
+        ptr = ctx.speedup(bench, "pointer")
+        rec = ctx.speedup(bench, "pointer-recursive")
+        srp = ctx.speedup(bench, "srp")
+        rows.append([
+            bench,
+            round(ptr, 3),
+            round(rec, 3),
+            round(srp, 3),
+        ])
+    return ExperimentResult(
+        "Figure 9: performance gains from pointer prefetching "
+        "(speedup over no prefetching)",
+        ["benchmark", "pointer", "recursive", "SRP"],
+        rows,
+    )

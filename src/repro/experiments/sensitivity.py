@@ -1,0 +1,44 @@
+"""Section 5.4: compiler policy sensitivity.
+
+The paper compares the default spatial-marking policy against a more
+aggressive one (mark even when the reuse distance exceeds the L2) and a
+more conservative one (mark only innermost-loop reuse):
+
+* aggressive: ~2% performance loss overall, ~5% extra traffic;
+* conservative: traffic unchanged, ~5% mean performance loss
+  concentrated in applu, art, equake, and apsi.
+"""
+
+from repro.experiments.common import ExperimentResult, PERF_BENCHMARKS
+
+POLICIES = ["conservative", "default", "aggressive"]
+
+
+def run(ctx, benchmarks=None):
+    names = benchmarks or PERF_BENCHMARKS
+    rows = []
+    for policy in POLICIES:
+        speedup = ctx.geomean_speedup("grp", names, policy=policy)
+        traffic = ctx.geomean_traffic("grp", names, policy=policy)
+        rows.append([policy, round(speedup, 3), round(traffic, 2)])
+    return ExperimentResult(
+        "Section 5.4: compiler spatial-policy sensitivity (GRP)",
+        ["policy", "geomean speedup", "geomean traffic"],
+        rows,
+    )
+
+
+def run_per_benchmark(ctx, benchmarks=None):
+    """Per-benchmark view: where the conservative policy loses."""
+    names = benchmarks or PERF_BENCHMARKS
+    rows = []
+    for bench in names:
+        row = [bench]
+        for policy in POLICIES:
+            row.append(round(ctx.speedup(bench, "grp", policy=policy), 3))
+        rows.append(row)
+    return ExperimentResult(
+        "Section 5.4 detail: GRP speedup per compiler policy",
+        ["benchmark"] + POLICIES,
+        rows,
+    )

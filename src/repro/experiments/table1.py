@@ -1,0 +1,57 @@
+"""Table 1: summary of prefetching performance and traffic.
+
+Paper values (geometric means over the suite):
+
+===================  =======  ========  ===============
+scheme               speedup  traffic   gap vs perfect L2
+===================  =======  ========  ===============
+No prefetching       1        1         33.72
+Stride prefetching   1.147    1.09      23.99
+SRP                  1.226    2.80      18.75
+GRP/Fix              1.216    1.62      19.42
+GRP/Var              1.212    1.23      19.69
+===================  =======  ========  ===============
+"""
+
+from repro.experiments.common import (
+    PERF_BENCHMARKS,
+    ExperimentResult,
+)
+
+SCHEME_LABELS = [
+    ("none", "No prefetching"),
+    ("stride", "Stride prefetching"),
+    ("srp", "SRP"),
+    ("grp-fix", "GRP/Fix"),
+    ("grp", "GRP/Var"),
+]
+
+PAPER = {
+    "No prefetching": (1.0, 1.0, 33.72),
+    "Stride prefetching": (1.147, 1.09, 23.99),
+    "SRP": (1.226, 2.80, 18.75),
+    "GRP/Fix": (1.216, 1.62, 19.42),
+    "GRP/Var": (1.212, 1.23, 19.69),
+}
+
+
+def run(ctx, benchmarks=None):
+    names = benchmarks or PERF_BENCHMARKS
+    rows = []
+    for scheme, label in SCHEME_LABELS:
+        speedup = ctx.geomean_speedup(scheme, names)
+        traffic = ctx.geomean_traffic(scheme, names)
+        gap = ctx.mean_gap(scheme, names)
+        paper = PAPER[label]
+        rows.append([
+            label, round(speedup, 3), round(traffic, 2), round(gap, 2),
+            paper[0], paper[1], paper[2],
+        ])
+    return ExperimentResult(
+        "Table 1: summary of prefetching performance and traffic",
+        ["scheme", "speedup", "traffic", "gap%",
+         "paper.speedup", "paper.traffic", "paper.gap%"],
+        rows,
+        notes=("Geometric means over %d benchmarks (crafty excluded, as "
+               "in the paper)." % len(names)),
+    )

@@ -1,0 +1,45 @@
+"""Table 3: static compiler-hint counts per benchmark.
+
+Columns: total static memory reference sites, spatial / pointer /
+recursive hint counts, the fraction of references hinted, and the number
+of indirect prefetch instructions.  Absolute counts are far smaller than
+the paper's (our programs are synthetic kernels, not full SPEC sources);
+the *shape* to check is: Fortran codes have zero pointer/recursive
+hints, parser/twolf/mcf have recursive hints, vpr/bzip2 have indirect
+instructions, and hint ratios sit in a plausible 20-80% band.
+"""
+
+from repro.compiler.driver import compile_hints
+from repro.experiments.common import ALL_BENCHMARKS, ExperimentResult
+from repro.mem.space import AddressSpace
+from repro.workloads import get_workload
+
+
+def run(ctx, benchmarks=None):
+    names = benchmarks or ALL_BENCHMARKS
+    rows = []
+    for bench in names:
+        workload = get_workload(bench)
+        space = AddressSpace()
+        built = workload.build(space)
+        result = compile_hints(
+            built.program,
+            l2_size=ctx.config.l2_size,
+            block_size=ctx.config.block_size,
+        )
+        counts = result.counts()
+        rows.append([
+            bench,
+            counts["mem_insts"],
+            counts["spatial"],
+            counts["pointer"],
+            counts["recursive"],
+            round(counts["ratio"], 1),
+            counts["indirect"],
+        ])
+    return ExperimentResult(
+        "Table 3: number of compiler hints for each benchmark",
+        ["benchmark", "mem insts", "spatial", "pointer", "recursive",
+         "ratio(%)", "indirect"],
+        rows,
+    )

@@ -1,0 +1,50 @@
+"""Table 5: prefetching accuracy, coverage and memory traffic.
+
+Per benchmark: the baseline L2 miss rate and traffic, then coverage
+(percent reduction in demand DRAM fetches), accuracy (useful prefetched
+blocks / prefetched blocks) and absolute traffic for stride, SRP, and
+GRP.  The paper's suite-level shape: stride has the highest accuracy and
+lowest coverage; SRP the best coverage and worst accuracy (with
+enormous traffic); GRP combines stride-like accuracy with SRP-like
+coverage at a fraction of SRP's traffic.
+"""
+
+from repro.experiments.common import ExperimentResult, PERF_BENCHMARKS
+
+SCHEMES = ["stride", "srp", "grp"]
+
+
+def run(ctx, benchmarks=None):
+    names = benchmarks or PERF_BENCHMARKS
+    rows = []
+    for bench in names:
+        base = ctx.run(bench, "none")
+        row = [
+            bench,
+            round(100.0 * base.l2_miss_rate, 1),
+            base.traffic_bytes // 1024,
+        ]
+        for scheme in SCHEMES:
+            stats = ctx.run(bench, scheme)
+            row.extend([
+                round(100.0 * stats.coverage_over(base), 1),
+                round(100.0 * stats.prefetch_accuracy, 1),
+                stats.traffic_bytes // 1024,
+            ])
+        rows.append(row)
+
+    # Arithmetic-mean summary row, as in the paper.
+    def mean(idx):
+        return round(sum(r[idx] for r in rows) / len(rows), 1)
+
+    rows.append(
+        ["average"] + [mean(i) for i in range(1, len(rows[0]))]
+    )
+    return ExperimentResult(
+        "Table 5: prefetching accuracy, coverage and memory traffic",
+        ["benchmark", "miss%", "baseKB",
+         "str.cov", "str.acc", "strKB",
+         "srp.cov", "srp.acc", "srpKB",
+         "grp.cov", "grp.acc", "grpKB"],
+        rows,
+    )

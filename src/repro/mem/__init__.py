@@ -1,0 +1,40 @@
+"""Memory-system substrate: address space, caches, MSHRs, DRAM, controller.
+
+This package implements every hardware structure below the CPU core that the
+GRP paper's evaluation depends on: a simulated process address space with a
+heap allocator and word-content store (so pointer prefetchers can scan fetched
+lines for real pointer values), set-associative caches with the
+prefetch-at-LRU insertion policy, miss status holding registers, a
+multi-channel banked DRAM model with open-page row buffers, and the memory
+controller with SRP's demand-first access prioritizer.
+"""
+
+from repro.mem.layout import (
+    block_base,
+    block_index_in_region,
+    blocks_in_region,
+    region_base,
+)
+from repro.mem.space import AddressSpace, Segment
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.mshr import MSHRFile
+from repro.mem.dram import DRAMConfig, DRAMSystem
+from repro.mem.controller import MemoryController
+from repro.mem.hierarchy import Hierarchy, HierarchyStats
+
+__all__ = [
+    "AddressSpace",
+    "Cache",
+    "CacheStats",
+    "DRAMConfig",
+    "DRAMSystem",
+    "Hierarchy",
+    "HierarchyStats",
+    "MSHRFile",
+    "MemoryController",
+    "Segment",
+    "block_base",
+    "block_index_in_region",
+    "blocks_in_region",
+    "region_base",
+]

@@ -1,0 +1,216 @@
+"""Set-associative cache with the SRP prefetch-placement policy.
+
+The paper controls cache pollution by inserting prefetched blocks at the
+**LRU** position of the target set and only promoting them to MRU when the
+CPU references them explicitly (Section 3.1).  In an ``n``-way set, useless
+prefetches can therefore displace at most ``1/n`` of the useful data.
+
+Each set is an ordered list of :class:`CacheLine`, index 0 = LRU, last =
+MRU.  Associativities in this system are small (2 or 4 way), so linear scans
+are cheap and keep the code obvious.
+"""
+
+from repro.mem.layout import block_base, is_power_of_two
+
+
+class CacheLine:
+    """One resident block: tag plus the bookkeeping bits the policy needs."""
+
+    __slots__ = ("block", "dirty", "prefetched", "referenced")
+
+    def __init__(self, block, prefetched=False):
+        self.block = block
+        self.dirty = False
+        self.prefetched = prefetched
+        self.referenced = not prefetched
+
+    def __repr__(self):
+        return "CacheLine(0x%x%s%s)" % (
+            self.block,
+            " pf" if self.prefetched else "",
+            " dirty" if self.dirty else "",
+        )
+
+
+class CacheStats:
+    """Counters for one cache level.
+
+    Prefetch accuracy is defined as in the paper's Table 5: the fraction of
+    prefetched blocks that the CPU references before they leave the cache.
+    Blocks still resident-but-unreferenced at the end of simulation count as
+    useless, which ``finalize`` folds in.
+    """
+
+    def __init__(self):
+        self.demand_accesses = 0
+        self.demand_hits = 0
+        self.demand_misses = 0
+        self.prefetch_fills = 0
+        self.useful_prefetches = 0
+        self.useless_evicted_prefetches = 0
+        self.writebacks = 0
+        self.prefetch_hits_squashed = 0
+
+    @property
+    def miss_rate(self):
+        """Demand miss rate (misses / accesses); 0.0 when idle."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_misses / self.demand_accesses
+
+    def prefetch_accuracy(self, resident_unreferenced=0):
+        """Useful prefetches / all prefetch fills, counting stragglers useless."""
+        if self.prefetch_fills == 0:
+            return 0.0
+        return self.useful_prefetches / self.prefetch_fills
+
+    def snapshot(self):
+        """Return a plain dict of the counters (for reports and tests)."""
+        return {
+            "demand_accesses": self.demand_accesses,
+            "demand_hits": self.demand_hits,
+            "demand_misses": self.demand_misses,
+            "prefetch_fills": self.prefetch_fills,
+            "useful_prefetches": self.useful_prefetches,
+            "useless_evicted_prefetches": self.useless_evicted_prefetches,
+            "writebacks": self.writebacks,
+            "miss_rate": self.miss_rate,
+        }
+
+
+class Cache:
+    """A write-back, write-allocate, LRU set-associative cache."""
+
+    def __init__(self, name, size, assoc, block_size, latency,
+                 prefetch_insert="lru"):
+        if prefetch_insert not in ("lru", "mru"):
+            raise ValueError("prefetch_insert must be 'lru' or 'mru'")
+        if not is_power_of_two(block_size):
+            raise ValueError("block size must be a power of two")
+        if size % (assoc * block_size) != 0:
+            raise ValueError(
+                "cache size %d not divisible by assoc*block (%d*%d)"
+                % (size, assoc, block_size)
+            )
+        self.name = name
+        self.size = size
+        self.prefetch_insert = prefetch_insert
+        self.assoc = assoc
+        self.block_size = block_size
+        self.latency = latency
+        self.num_sets = size // (assoc * block_size)
+        if not is_power_of_two(self.num_sets):
+            raise ValueError("number of sets must be a power of two")
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._set_mask = self.num_sets - 1
+        self._block_shift = block_size.bit_length() - 1
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _set_index(self, block):
+        return (block >> self._block_shift) & self._set_mask
+
+    def _find(self, block):
+        """Return (set, position) of ``block``, or (set, -1) when absent."""
+        lines = self._sets[self._set_index(block)]
+        for pos, line in enumerate(lines):
+            if line.block == block:
+                return lines, pos
+        return lines, -1
+
+    # ------------------------------------------------------------------
+    def access(self, addr, is_store=False):
+        """Demand access to the block containing ``addr``.
+
+        Returns True on hit.  Hits promote the line to MRU; a first demand
+        touch of a prefetched line records a useful prefetch.  Misses are
+        counted but the fill is the caller's job (via :meth:`fill`), because
+        fill timing depends on the memory system.
+        """
+        block = block_base(addr, self.block_size)
+        self.stats.demand_accesses += 1
+        lines, pos = self._find(block)
+        if pos < 0:
+            self.stats.demand_misses += 1
+            return False
+        line = lines.pop(pos)
+        lines.append(line)  # promote to MRU
+        if not line.referenced:
+            line.referenced = True
+            self.stats.useful_prefetches += 1
+        if is_store:
+            line.dirty = True
+        self.stats.demand_hits += 1
+        return True
+
+    def contains(self, addr):
+        """Return True when ``addr``'s block is resident.  No side effects."""
+        _, pos = self._find(block_base(addr, self.block_size))
+        return pos >= 0
+
+    def fill(self, addr, prefetched=False, is_store=False):
+        """Install the block containing ``addr``.
+
+        Demand fills go to MRU; prefetch fills go to the LRU position (the
+        paper's pollution control).  Returns the evicted block address when
+        a dirty line was displaced (the caller issues the writeback), else
+        None.  A prefetch fill of an already-resident block is squashed.
+        """
+        block = block_base(addr, self.block_size)
+        lines, pos = self._find(block)
+        if pos >= 0:
+            if prefetched:
+                # Redundant prefetch: block already arrived (e.g. via a
+                # demand miss that raced the prefetch).  Nothing to do.
+                self.stats.prefetch_hits_squashed += 1
+                return None
+            line = lines.pop(pos)
+            lines.append(line)
+            if is_store:
+                line.dirty = True
+            return None
+        writeback = None
+        if len(lines) >= self.assoc:
+            victim = lines.pop(0)  # LRU
+            if victim.prefetched and not victim.referenced:
+                self.stats.useless_evicted_prefetches += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                writeback = victim.block
+        line = CacheLine(block, prefetched=prefetched)
+        if is_store:
+            line.dirty = True
+        if prefetched and self.prefetch_insert == "lru":
+            lines.insert(0, line)  # LRU position: pollution control
+        else:
+            lines.append(line)  # MRU
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return writeback
+
+    def invalidate(self, addr):
+        """Drop ``addr``'s block if resident; returns True if it was."""
+        block = block_base(addr, self.block_size)
+        lines, pos = self._find(block)
+        if pos < 0:
+            return False
+        lines.pop(pos)
+        return True
+
+    def resident_blocks(self):
+        """Yield all resident block addresses (for tests and invariants)."""
+        for lines in self._sets:
+            for line in lines:
+                yield line.block
+
+    def resident_unreferenced_prefetches(self):
+        """Count prefetched blocks never demanded (for final accuracy)."""
+        count = 0
+        for lines in self._sets:
+            for line in lines:
+                if line.prefetched and not line.referenced:
+                    count += 1
+        return count
+
+    def __len__(self):
+        return sum(len(lines) for lines in self._sets)

@@ -1,0 +1,128 @@
+"""Memory controller with SRP's access prioritizer.
+
+The prioritizer (Figure 2 of the paper) is the piece that lets SRP/GRP
+prefetch aggressively without hurting demand traffic:
+
+* Demand misses go to DRAM immediately; they contend only with transfers the
+  controller already started, never with queued prefetch candidates.
+* Prefetch candidates are forwarded **only when their memory channel is
+  otherwise idle**.  In this event-driven model the controller "catches up"
+  prefetch issue lazily: before each demand event at cycle ``now`` it issues
+  queued candidates into the idle channel time that elapsed since they were
+  queued, stopping at the first candidate whose channel is still busy
+  (head-of-line, like the real queue) or whose issue time would be in the
+  future.
+
+The controller knows nothing about hint semantics; it just asks the attached
+prefetcher for its next candidate.  Prefetch fills are delivered through a
+callback installed by the hierarchy, which also records the data-ready cycle
+so that a demand access arriving before the prefetch completes waits for it
+(a *late* prefetch hides only part of the latency).
+"""
+
+
+class PrefetchRequest:
+    """One prefetch candidate handed from a prefetcher to the controller."""
+
+    __slots__ = ("block", "queued_at", "depth", "meta")
+
+    def __init__(self, block, queued_at, depth=0, meta=None):
+        self.block = block
+        self.queued_at = queued_at
+        self.depth = depth
+        self.meta = meta
+
+    def __repr__(self):
+        return "PrefetchRequest(0x%x @%d depth=%d)" % (
+            self.block,
+            self.queued_at,
+            self.depth,
+        )
+
+
+class MemoryController:
+    """Glue between the L2, the prefetch engine, and the DRAM channels."""
+
+    def __init__(self, dram, prefetcher=None):
+        self.dram = dram
+        self.prefetcher = prefetcher
+        #: Installed by the hierarchy: fill_prefetch(request, ready_cycle).
+        self.fill_prefetch = None
+        #: Installed by the hierarchy: is_resident(block) -> bool.
+        self.is_resident = None
+        #: Installed by the hierarchy: the shared L2 MSHR file.  The paper
+        #: is explicit that "the MSHRs track all outstanding accesses,
+        #: regardless of type" -- prefetches occupy MSHRs too, which is
+        #: what bounds the prefetch engine's memory-level parallelism.
+        self.mshrs = None
+        #: End of the most recent interval with a demand miss in flight.
+        #: The prioritizer "forwards prefetch requests only when there are
+        #: no outstanding demand misses from the L2" -- during bursts of
+        #: overlapping misses the prefetcher is locked out entirely, which
+        #: is what keeps SRP's traffic bounded on miss-dense phases.
+        self.demand_busy_until = 0
+        self.prefetches_issued = 0
+        self.prefetches_dropped_resident = 0
+        self.prefetches_blocked_mshr = 0
+
+    # ------------------------------------------------------------------
+    def demand_fetch(self, block, now):
+        """Fetch ``block`` for a demand miss; return the data-ready cycle.
+
+        Prefetch catch-up happens at the top of ``Hierarchy.access`` (and
+        must not happen here: the caller has already reserved an MSHR slot
+        based on the occupancy at ``now``).
+        """
+        ready = self.dram.access(block, now, kind="demand")
+        if ready > self.demand_busy_until:
+            self.demand_busy_until = ready
+        return ready
+
+    def writeback(self, block, now):
+        """Queue a dirty-block writeback.  Fire-and-forget for timing."""
+        self.dram.access(block, now, kind="writeback")
+
+    # ------------------------------------------------------------------
+    def issue_prefetches(self, now, budget=256):
+        """Issue queued prefetch candidates into idle channel time <= now.
+
+        ``budget`` bounds work per call so a pathological queue cannot stall
+        the simulator; any remainder issues on the next call.
+        """
+        if self.prefetcher is None:
+            return
+        issued = 0
+        while issued < budget:
+            request = self.prefetcher.pop_candidate(now, self.dram)
+            if request is None:
+                break
+            block = request.block
+            if self.is_resident is not None and self.is_resident(block):
+                self.prefetches_dropped_resident += 1
+                self.prefetcher.on_candidate_dropped(request)
+                continue
+            earliest = max(request.queued_at, self.dram.channel_free_at(block))
+            # No prefetch while a demand miss is outstanding.
+            if self.demand_busy_until > earliest:
+                earliest = self.demand_busy_until
+            if self.mshrs is not None:
+                free_at = self.mshrs.earliest_free(earliest)
+                if free_at > earliest:
+                    self.prefetches_blocked_mshr += 1
+                    earliest = free_at
+            if earliest >= now:
+                # No idle issue slot (channel or MSHR) before `now`; hold
+                # the candidate (and everything behind it) for later.
+                self.prefetcher.push_back(request)
+                break
+            ready = self.dram.access(block, earliest, kind="prefetch")
+            if self.mshrs is not None:
+                self.mshrs.allocate(block, ready, earliest)
+            self.prefetches_issued += 1
+            issued += 1
+            if self.fill_prefetch is not None:
+                self.fill_prefetch(request, ready)
+
+    def drain(self, now):
+        """Issue everything issuable by ``now`` (used at simulation end)."""
+        self.issue_prefetches(now, budget=1 << 20)

@@ -1,0 +1,208 @@
+"""The full memory hierarchy: L1D, unified L2, MSHRs, controller, DRAM.
+
+This is the component the CPU timing model talks to.  Each call to
+:meth:`Hierarchy.access` simulates one memory reference arriving at cycle
+``now`` and returns the cycle at which its data is available.
+
+Modes
+-----
+``real``
+    The full hierarchy (default).
+``perfect_l1``
+    Every reference completes in the L1 hit latency — the paper's
+    "perfect L1" bar in Figure 1.
+``perfect_l2``
+    The L1 is real, but every L1 miss hits in the L2 — the "perfect L2"
+    bar, which defines the performance gap all prefetchers chase.
+
+Prefetch timing
+---------------
+Prefetched blocks are installed in the L2 when the controller issues them,
+but their *data-ready* cycle is remembered.  A demand access that finds a
+still-in-flight prefetched block waits for the remaining latency — a late
+prefetch hides only part of the miss (these show up in
+``stats.late_prefetch_hits``).
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.controller import MemoryController
+from repro.mem.dram import DRAMSystem
+from repro.mem.layout import block_base
+from repro.mem.mshr import MSHRFile
+from repro.mem.tlb import TLB
+
+
+class HierarchyStats:
+    """Aggregate counters across the hierarchy for one simulation."""
+
+    def __init__(self):
+        self.loads = 0
+        self.stores = 0
+        self.late_prefetch_hits = 0
+        self.mshr_merge_waits = 0
+
+    def snapshot(self):
+        return {
+            "loads": self.loads,
+            "stores": self.stores,
+            "late_prefetch_hits": self.late_prefetch_hits,
+            "mshr_merge_waits": self.mshr_merge_waits,
+        }
+
+
+class Hierarchy:
+    """L1 + L2 + MSHRs + memory controller + DRAM, with prefetcher hooks."""
+
+    def __init__(self, config, space, prefetcher=None, mode="real"):
+        if mode not in ("real", "perfect_l1", "perfect_l2"):
+            raise ValueError("unknown hierarchy mode %r" % mode)
+        self.config = config
+        self.space = space
+        self.mode = mode
+        self.block_size = config.block_size
+        self.l1 = Cache(
+            "L1D", config.l1_size, config.l1_assoc, config.block_size,
+            config.l1_latency,
+        )
+        self.l2 = Cache(
+            "L2", config.l2_size, config.l2_assoc, config.block_size,
+            config.l2_latency, prefetch_insert=config.prefetch_insert,
+        )
+        self.l2_mshrs = MSHRFile(config.mshr_entries)
+        self.dram = DRAMSystem(config.dram)
+        self.controller = MemoryController(self.dram, prefetcher)
+        self.controller.fill_prefetch = self._fill_prefetch
+        self.controller.is_resident = self.l2.contains
+        self.controller.mshrs = self.l2_mshrs
+        self.prefetcher = prefetcher
+        if prefetcher is not None:
+            prefetcher.attach(self, space, config)
+        self.tlb = (
+            TLB(config.tlb_entries, config.tlb_assoc,
+                config.tlb_page_size, config.tlb_miss_latency)
+            if getattr(config, "tlb_entries", 0)
+            else None
+        )
+        self.stats = HierarchyStats()
+        self._prefetch_ready = {}
+
+    # ------------------------------------------------------------------
+    # Prefetch fill path (controller callback)
+    # ------------------------------------------------------------------
+    def _fill_prefetch(self, request, ready):
+        block = request.block
+        if self.prefetcher is None or self.prefetcher.fills_l2:
+            writeback = self.l2.fill(block, prefetched=True)
+            if writeback is not None:
+                self.controller.writeback(writeback, ready)
+            self._prefetch_ready[block] = ready
+            if len(self._prefetch_ready) > 4096:
+                self._prune_ready(ready)
+        if self.prefetcher is not None:
+            self.prefetcher.on_prefetch_fill(request, ready)
+
+    def _prune_ready(self, now):
+        stale = [b for b, r in self._prefetch_ready.items() if r <= now]
+        for b in stale:
+            del self._prefetch_ready[b]
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+    def access(self, addr, now, is_store=False, ref_id=None, hint=None):
+        """Simulate one reference; return its data-ready cycle."""
+        if is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+        if self.mode == "perfect_l1":
+            return now + self.l1.latency
+        if self.tlb is not None:
+            # The page walk serializes before the cache lookup.
+            now = now + self.tlb.lookup(addr)
+        # Catch up on prefetch issue for the idle time that elapsed before
+        # this access: prefetches queued earlier may have completed (or be
+        # in flight) by now, turning this lookup into a (late) hit.
+        self.controller.issue_prefetches(now)
+        block = block_base(addr, self.block_size)
+        if self.l1.access(addr, is_store=is_store):
+            return now + self.l1.latency
+        # L1 miss: the L2 lookup starts after the L1 probe.
+        t = now + self.l1.latency
+        completion = self._l2_access(block, addr, t, is_store, ref_id, hint)
+        # Fill L1; a dirty victim merges into the L2 copy when present.
+        l1_victim = self.l1.fill(addr, is_store=is_store)
+        if l1_victim is not None:
+            self.l2.fill(l1_victim)
+        return completion
+
+    def _l2_access(self, block, addr, t, is_store, ref_id, hint):
+        if self.mode == "perfect_l2":
+            return t + self.l2.latency
+        hit = self.l2.access(addr, is_store=is_store)
+        if self.prefetcher is not None:
+            self.prefetcher.on_l2_access(block, addr, ref_id, hint, t, hit)
+        if hit:
+            completion = t + self.l2.latency
+            ready = self._prefetch_ready.pop(block, None)
+            if ready is not None and ready > completion:
+                self.stats.late_prefetch_hits += 1
+                completion = ready
+            return completion
+        return self._l2_miss(block, addr, t, is_store, ref_id, hint)
+
+    def _l2_miss(self, block, addr, t, is_store, ref_id, hint):
+        if self.prefetcher is not None:
+            self.prefetcher.on_l2_miss(block, addr, ref_id, hint, t)
+            # Stream-buffer schemes may hold the block privately.
+            probe_ready = self.prefetcher.probe(block, t)
+            if probe_ready is not None:
+                completion = max(t + self.l2.latency, probe_ready)
+                writeback = self.l2.fill(addr, is_store=is_store)
+                if writeback is not None:
+                    self.controller.writeback(writeback, completion)
+                return completion
+        merged = self.l2_mshrs.lookup(block, t)
+        if merged is not None:
+            self.stats.mshr_merge_waits += 1
+            return max(merged, t + self.l2.latency)
+        start = max(t, self.l2_mshrs.earliest_free(t))
+        ready = self.controller.demand_fetch(block, start)
+        self.l2_mshrs.allocate(block, ready, start)
+        writeback = self.l2.fill(addr, is_store=is_store)
+        if writeback is not None:
+            self.controller.writeback(writeback, ready)
+        self._prefetch_ready.pop(block, None)
+        if self.prefetcher is not None:
+            self.prefetcher.on_demand_fill(block, ref_id, hint, ready)
+        return ready
+
+    # ------------------------------------------------------------------
+    def directive(self, event, now):
+        """Forward a software directive (loop bound / indirect prefetch)."""
+        if self.prefetcher is not None:
+            self.prefetcher.on_directive(event, now)
+
+    def finish(self, now):
+        """Flush prefetch issue at end of simulation (for traffic totals)."""
+        self.controller.drain(now)
+
+    # ------------------------------------------------------------------
+    def traffic_bytes(self):
+        """Total DRAM traffic (demand + prefetch + writeback), in bytes."""
+        return self.dram.stats.bytes_transferred(self.block_size)
+
+    def prefetch_accuracy(self):
+        """Fraction of prefetched blocks referenced before leaving the L2.
+
+        Counts prefetches still resident-but-unreferenced as useless, plus
+        any prefetcher-private fills (stream buffers) via the engine stats.
+        """
+        fills = self.l2.stats.prefetch_fills
+        useful = self.l2.stats.useful_prefetches
+        if self.prefetcher is not None:
+            fills += self.prefetcher.private_fills
+            useful += self.prefetcher.private_useful
+        if fills == 0:
+            return 0.0
+        return useful / fills

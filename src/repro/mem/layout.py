@@ -1,0 +1,48 @@
+"""Address arithmetic helpers shared by caches and prefetch engines.
+
+All addresses are plain Python ints (byte addresses).  Block and region sizes
+are powers of two throughout the system, so alignment is mask arithmetic.
+"""
+
+
+def is_power_of_two(value):
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def block_base(addr, block_size):
+    """Return the base (aligned) address of the block containing ``addr``."""
+    return addr & ~(block_size - 1)
+
+
+def region_base(addr, region_size):
+    """Return the base address of the aligned region containing ``addr``."""
+    return addr & ~(region_size - 1)
+
+
+def blocks_in_region(region_size, block_size):
+    """Return how many cache blocks an aligned region spans."""
+    return region_size // block_size
+
+
+def block_index_in_region(addr, region_size, block_size):
+    """Return the index of ``addr``'s block within its aligned region.
+
+    The SRP/GRP prefetch queue stores a candidate bitvector per region; this
+    index selects the bit corresponding to a given address.
+    """
+    return (addr & (region_size - 1)) // block_size
+
+
+def block_range(addr, size, block_size):
+    """Yield the base addresses of all blocks touched by ``[addr, addr+size)``.
+
+    Multi-byte accesses that straddle a block boundary touch two blocks; the
+    hierarchy treats each touched block as a separate cache access.
+    """
+    first = block_base(addr, block_size)
+    last = block_base(addr + size - 1, block_size)
+    base = first
+    while base <= last:
+        yield base
+        base += block_size

@@ -1,0 +1,75 @@
+"""Miss status holding registers.
+
+MSHRs bound how many misses a cache can have in flight (8 per cache in the
+paper's configuration).  They serve two roles here:
+
+* **Merging** — a second miss to a block already being fetched piggybacks on
+  the outstanding fill instead of issuing a new memory access.
+* **Back-pressure** — when all registers are busy, a new miss must wait for
+  the earliest outstanding fill to complete, which is how limited MSHRs cap
+  memory-level parallelism in the timing model.
+
+The file is a mapping from block address to the cycle at which its fill
+completes; entries whose completion time has passed are reclaimed lazily.
+"""
+
+
+class MSHRFile:
+    """A fixed-size file of miss status holding registers."""
+
+    def __init__(self, num_entries):
+        if num_entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self._inflight = {}
+        self.merges = 0
+        self.allocations = 0
+        self.stalls = 0
+
+    def _reclaim(self, now):
+        """Free every register whose fill has completed by ``now``."""
+        if not self._inflight:
+            return
+        done = [blk for blk, ready in self._inflight.items() if ready <= now]
+        for blk in done:
+            del self._inflight[blk]
+
+    def outstanding(self, now):
+        """Number of fills still in flight at cycle ``now``."""
+        self._reclaim(now)
+        return len(self._inflight)
+
+    def lookup(self, block, now):
+        """Return the completion cycle of an in-flight fill of ``block``.
+
+        Returns None when the block is not being fetched.  A hit here is a
+        miss *merge*: the requester waits on the existing fill.
+        """
+        self._reclaim(now)
+        ready = self._inflight.get(block)
+        if ready is not None:
+            self.merges += 1
+        return ready
+
+    def earliest_free(self, now):
+        """Cycle at which a register becomes available.
+
+        ``now`` when one is already free; otherwise the earliest outstanding
+        completion time.  The caller stalls the new miss until then.
+        """
+        self._reclaim(now)
+        if len(self._inflight) < self.num_entries:
+            return now
+        self.stalls += 1
+        return min(self._inflight.values())
+
+    def allocate(self, block, ready, now):
+        """Claim a register for ``block`` completing at cycle ``ready``.
+
+        The caller must have ensured availability via :meth:`earliest_free`.
+        """
+        self._reclaim(now)
+        if len(self._inflight) >= self.num_entries:
+            raise RuntimeError("MSHR overflow: allocate without a free entry")
+        self._inflight[block] = ready
+        self.allocations += 1

@@ -1,0 +1,190 @@
+"""Simulated process address space.
+
+The GRP hardware scans fetched cache lines for values that look like heap
+pointers (a base-and-bounds check against the heap segment, Section 3.2 of
+the paper).  To reproduce that, the simulator needs more than an address
+trace: it needs the actual *contents* of memory words that hold pointers.
+
+:class:`AddressSpace` provides
+
+* named segments (static data, heap, stack) laid out like an Alpha process,
+* a bump allocator for the heap (``malloc``) with configurable alignment,
+* a sparse word-content store: workloads record pointer values (and indirect
+  index values) at the addresses where the program stores them, and the
+  prefetch engines read them back when scanning fetched lines.
+
+Only words that matter to prefetching (pointers, index arrays) are stored;
+bulk numeric data is left implicit, exactly as a trace-driven simulator
+would.
+"""
+
+from repro.mem.layout import is_power_of_two
+
+POINTER_SIZE = 8
+"""Pointers are aligned 8-byte entities (Alpha ISA), per the paper."""
+
+
+class Segment:
+    """A contiguous region of the simulated address space."""
+
+    def __init__(self, name, start, size):
+        self.name = name
+        self.start = start
+        self.size = size
+
+    @property
+    def end(self):
+        """One past the last byte of the segment."""
+        return self.start + self.size
+
+    def contains(self, addr):
+        """Return True when ``addr`` falls inside this segment."""
+        return self.start <= addr < self.end
+
+    def __repr__(self):
+        return "Segment(%r, 0x%x..0x%x)" % (self.name, self.start, self.end)
+
+
+class OutOfMemoryError(Exception):
+    """Raised when an allocation does not fit in the heap segment."""
+
+
+class AddressSpace:
+    """Segments + bump allocator + sparse word-content store."""
+
+    #: Default segment layout, loosely modelled on an Alpha/Tru64 process.
+    DEFAULT_STATIC_START = 0x0014_0000
+    DEFAULT_STATIC_SIZE = 0x0400_0000  # 64 MB of static data
+    DEFAULT_HEAP_START = 0x2000_0000
+    DEFAULT_HEAP_SIZE = 0x4000_0000  # 1 GB heap
+    DEFAULT_STACK_START = 0x7000_0000
+    DEFAULT_STACK_SIZE = 0x0100_0000
+
+    def __init__(
+        self,
+        static_size=DEFAULT_STATIC_SIZE,
+        heap_size=DEFAULT_HEAP_SIZE,
+        stack_size=DEFAULT_STACK_SIZE,
+    ):
+        self.static = Segment("static", self.DEFAULT_STATIC_START, static_size)
+        self.heap = Segment("heap", self.DEFAULT_HEAP_START, heap_size)
+        self.stack = Segment("stack", self.DEFAULT_STACK_START, stack_size)
+        self._heap_brk = self.heap.start
+        self._static_brk = self.static.start
+        self._words = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def malloc(self, size, align=16):
+        """Allocate ``size`` bytes on the heap; return the base address.
+
+        ``align`` must be a power of two.  A 16-byte default mimics common
+        malloc implementations, which matters because GRP prefetches two
+        blocks per pointer to cover structures straddling a block boundary.
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive, got %d" % size)
+        if not is_power_of_two(align):
+            raise ValueError("alignment must be a power of two, got %d" % align)
+        base = (self._heap_brk + align - 1) & ~(align - 1)
+        if base + size > self.heap.end:
+            raise OutOfMemoryError(
+                "heap exhausted: need %d bytes at 0x%x" % (size, base)
+            )
+        self._heap_brk = base + size
+        return base
+
+    def static_alloc(self, size, align=16):
+        """Allocate ``size`` bytes of static (global) data; return the base.
+
+        Fortran arrays and C globals live here; the pointer prefetcher's
+        base-and-bounds check rejects static addresses, exactly as the
+        paper's heap check does.
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive, got %d" % size)
+        if not is_power_of_two(align):
+            raise ValueError("alignment must be a power of two, got %d" % align)
+        base = (self._static_brk + align - 1) & ~(align - 1)
+        if base + size > self.static.end:
+            raise OutOfMemoryError(
+                "static segment exhausted: need %d bytes at 0x%x" % (size, base)
+            )
+        self._static_brk = base + size
+        return base
+
+    @property
+    def heap_used(self):
+        """Bytes of heap currently allocated."""
+        return self._heap_brk - self.heap.start
+
+    # ------------------------------------------------------------------
+    # Heap bounds check (the pointer prefetcher's base-and-bounds test)
+    # ------------------------------------------------------------------
+    def is_heap_address(self, value):
+        """Return True when ``value`` lies within the *allocated* heap.
+
+        The hardware in the paper checks against the start and end of the
+        heap; we tighten the end to the current break so that stale garbage
+        beyond the break never passes the test.
+        """
+        return self.heap.start <= value < self._heap_brk
+
+    # ------------------------------------------------------------------
+    # Word content store
+    # ------------------------------------------------------------------
+    def store_word(self, addr, value, size=POINTER_SIZE):
+        """Record that the program stored ``value`` at ``addr``.
+
+        ``size`` is 8 for pointers and typically 4 for indirect index array
+        elements.  Addresses must be naturally aligned for their size.
+        """
+        if addr % size != 0:
+            raise ValueError(
+                "unaligned %d-byte store at 0x%x" % (size, addr)
+            )
+        self._words[addr] = (value, size)
+
+    def load_word(self, addr):
+        """Return the value stored at ``addr``, or None if nothing recorded."""
+        entry = self._words.get(addr)
+        return entry[0] if entry is not None else None
+
+    def scan_pointers(self, block_addr, block_size):
+        """Return heap-pointer values found in the block at ``block_addr``.
+
+        This is the hardware scan from Section 3.2: examine each aligned
+        8-byte slot of the fetched line and keep values that pass the heap
+        base-and-bounds check.  Duplicate targets are deduplicated, matching
+        a prefetch queue that squashes identical candidates.
+        """
+        found = []
+        seen = set()
+        for offset in range(0, block_size, POINTER_SIZE):
+            entry = self._words.get(block_addr + offset)
+            if entry is None:
+                continue
+            value, size = entry
+            if size != POINTER_SIZE:
+                continue
+            if self.is_heap_address(value) and value not in seen:
+                seen.add(value)
+                found.append(value)
+        return found
+
+    def read_index_block(self, block_addr, block_size, elem_size=4):
+        """Return the index values stored in the block at ``block_addr``.
+
+        Used by the indirect prefetcher: it reads the cache block containing
+        ``&b[i]`` and generates one prefetch per index word in the block.
+        Slots with no recorded value are skipped (the hardware would generate
+        a junk prefetch; skipping models the accuracy of real index data
+        without fabricating values).
+        """
+        values = []
+        for offset in range(0, block_size, elem_size):
+            entry = self._words.get(block_addr + offset)
+            if entry is not None and entry[1] == elem_size:
+                values.append(entry[0])
+        return values

@@ -1,0 +1,63 @@
+"""A data TLB.
+
+The paper's pointer prefetcher "translates the virtual address to a
+physical address and forwards the address to the SRP prefetch queue";
+our simulated address space is flat (translation is the identity), so
+the TLB's architectural role here is its *timing* effect: accesses
+whose page mapping is not cached pay a page-walk latency before the
+cache lookup.
+
+Disabled by default (``MachineConfig.tlb_entries == 0``) because the
+paper's SimpleScalar configuration does not report TLB parameters and
+the experiment calibration excludes it; enable it to study how page
+locality interacts with region prefetching (regions never span pages:
+a 4 KB region is exactly one page).
+"""
+
+from repro.mem.layout import is_power_of_two
+
+
+class TLB:
+    """A set-associative translation lookaside buffer."""
+
+    def __init__(self, entries=64, assoc=4, page_size=8192,
+                 miss_latency=30):
+        if entries % assoc != 0:
+            raise ValueError("entries must be divisible by associativity")
+        if not is_power_of_two(page_size):
+            raise ValueError("page size must be a power of two")
+        self.entries = entries
+        self.assoc = assoc
+        self.page_size = page_size
+        self.miss_latency = miss_latency
+        self.num_sets = entries // assoc
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _page(self, addr):
+        return addr // self.page_size
+
+    def lookup(self, addr):
+        """Look up ``addr``'s page; returns the added latency (0 on hit).
+
+        Misses install the page with LRU replacement and cost
+        ``miss_latency`` cycles (the page-table walk).
+        """
+        page = self._page(addr)
+        ways = self._sets[page % self.num_sets]
+        for pos, entry in enumerate(ways):
+            if entry == page:
+                ways.append(ways.pop(pos))
+                self.hits += 1
+                return 0
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(page)
+        return self.miss_latency
+
+    @property
+    def miss_rate(self):
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,22 @@
+"""Prefetch engines: the paper's GRP plus every baseline it compares to."""
+
+from repro.prefetch.base import NullPrefetcher, Prefetcher
+from repro.prefetch.regionqueue import RegionEntry, RegionQueue
+from repro.prefetch.srp import SRPPrefetcher
+from repro.prefetch.stride import StridePrefetcher, StrideTable, StreamBuffer
+from repro.prefetch.pointer import PointerPrefetcher, RecursivePointerPrefetcher
+from repro.prefetch.grp import GRPPrefetcher
+
+__all__ = [
+    "GRPPrefetcher",
+    "NullPrefetcher",
+    "PointerPrefetcher",
+    "Prefetcher",
+    "RecursivePointerPrefetcher",
+    "RegionEntry",
+    "RegionQueue",
+    "SRPPrefetcher",
+    "StreamBuffer",
+    "StridePrefetcher",
+    "StrideTable",
+]

@@ -1,0 +1,91 @@
+"""Prefetcher interface.
+
+All prefetch engines (SRP, GRP, stride stream buffers, pointer) plug into
+the hierarchy through this interface.  The hierarchy calls the ``on_*``
+hooks as the access stream unfolds; the memory controller pulls candidates
+with :meth:`pop_candidate` whenever a DRAM channel is idle.
+
+The base class is a correct null prefetcher: every hook is a no-op and no
+candidates are ever produced, which is exactly the "no prefetching"
+baseline configuration.
+"""
+
+
+class Prefetcher:
+    """Base class and null implementation."""
+
+    name = "none"
+
+    #: Region schemes (SRP/GRP/pointer) install prefetched blocks in the L2
+    #: (at the LRU position); stream-buffer schemes set this False and keep
+    #: prefetched data in private buffer storage instead.
+    fills_l2 = True
+
+    def __init__(self):
+        self.hierarchy = None
+        self.space = None
+        self.config = None
+        #: Prefetch hits served from prefetcher-private storage (stream
+        #: buffers); region schemes leave this at zero because their fills
+        #: land in the L2, whose stats count usefulness.
+        self.private_useful = 0
+        self.private_fills = 0
+
+    def attach(self, hierarchy, space, config):
+        """Wire the engine to a hierarchy.  Called once by the hierarchy."""
+        self.hierarchy = hierarchy
+        self.space = space
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the hierarchy)
+    # ------------------------------------------------------------------
+    def on_l2_access(self, block, addr, ref_id, hint, now, was_hit):
+        """Every access that reaches the L2 (i.e. every L1 miss)."""
+
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        """A demand L2 miss; the canonical trigger for region prefetching."""
+
+    def on_demand_fill(self, block, ref_id, hint, ready):
+        """The missing line arrived from DRAM (GRP scans it for pointers)."""
+
+    def on_prefetch_fill(self, request, ready):
+        """A prefetched line arrived (recursive pointer chase continues)."""
+
+    def on_directive(self, event, now):
+        """A software directive from the trace (loop bound / indirect pf)."""
+
+    # ------------------------------------------------------------------
+    # Candidate supply (called by the memory controller)
+    # ------------------------------------------------------------------
+    def on_candidate_dropped(self, request):
+        """The controller dropped a candidate (target already resident)."""
+
+    def probe(self, block, now):
+        """Return data-ready cycle if the engine privately holds ``block``.
+
+        Stream-buffer schemes store prefetched data outside the L2; a miss
+        that hits a buffer is served from here.  Region schemes return None.
+        """
+        return None
+
+    def pop_candidate(self, now, dram):
+        """Return the next :class:`PrefetchRequest` to issue, or None."""
+        return None
+
+    def push_back(self, request):
+        """Return an unissuable candidate to the head of the queue."""
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self):
+        """Engine-private counters folded into the run's statistics."""
+        return {
+            "private_useful": self.private_useful,
+            "private_fills": self.private_fills,
+        }
+
+
+class NullPrefetcher(Prefetcher):
+    """Explicit alias for the no-prefetching baseline."""
+
+    name = "none"

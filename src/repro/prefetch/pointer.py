@@ -1,0 +1,91 @@
+"""Stateless content-directed pointer prefetching (Section 3.2).
+
+The hardware-only pointer scheme: whenever a line returns from memory, scan
+its eight aligned 8-byte slots for values that pass the heap base-and-bounds
+check and queue a prefetch for each — two cache blocks per pointer, because
+typical SPEC structures are under 64 bytes and two blocks cover structure
+misalignment.  The recursive variant keeps scanning the lines those
+prefetches return, up to a fixed depth.
+
+This is the engine evaluated alone in Figure 9 of the paper; GRP reuses the
+same mechanism but gates it behind compiler ``pointer``/``recursive`` hints
+(see :mod:`repro.prefetch.grp`).
+"""
+
+from repro.mem.layout import block_base
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.regionqueue import RegionQueue
+
+
+class PointerPrefetcher(Prefetcher):
+    """Hardware-only greedy pointer (and optionally recursive) prefetching."""
+
+    name = "pointer"
+
+    def __init__(self, recursive=False):
+        super().__init__()
+        self.recursive = recursive
+        self.pointers_found = 0
+        self.scans = 0
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self.queue = RegionQueue(
+            config.prefetch_queue_size,
+            config.region_size,
+            config.block_size,
+            is_resident=hierarchy.l2.contains,
+            policy=config.prefetch_queue_policy,
+        )
+        self._initial_depth = config.recursive_depth if self.recursive else 1
+
+    # ------------------------------------------------------------------
+    def _scan_and_queue(self, block, now, depth):
+        """Scan a returned line; queue 2-block entries for heap pointers.
+
+        ``depth`` is the paper's 3-bit counter: the number of further levels
+        the chase may descend.  Zero means stop.
+        """
+        if depth <= 0:
+            return
+        self.scans += 1
+        bsize = self.config.block_size
+        for value in self.space.scan_pointers(block, bsize):
+            self.pointers_found += 1
+            target = block_base(value, bsize)
+            blocks = [
+                target + i * bsize for i in range(self.config.pointer_blocks)
+            ]
+            self.queue.allocate_blocks(blocks, now, depth=depth - 1)
+
+    # ------------------------------------------------------------------
+    def on_demand_fill(self, block, ref_id, hint, ready):
+        self._scan_and_queue(block, ready, self._initial_depth)
+
+    def on_prefetch_fill(self, request, ready):
+        if request.depth > 0:
+            self._scan_and_queue(request.block, ready, request.depth)
+
+    def pop_candidate(self, now, dram):
+        return self.queue.pop_candidate(now, dram)
+
+    def push_back(self, request):
+        self.queue.push_back(request)
+
+    def stats_snapshot(self):
+        snap = super().stats_snapshot()
+        snap.update(
+            pointers_found=self.pointers_found,
+            scans=self.scans,
+            regions_allocated=self.queue.regions_allocated,
+        )
+        return snap
+
+
+class RecursivePointerPrefetcher(PointerPrefetcher):
+    """Pointer prefetching that chases to ``config.recursive_depth`` levels."""
+
+    name = "pointer-recursive"
+
+    def __init__(self):
+        super().__init__(recursive=True)

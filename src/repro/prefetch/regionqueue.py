@@ -1,0 +1,201 @@
+"""The SRP/GRP prefetch queue.
+
+The queue (Section 3.1 of the paper) holds *region entries*.  Each entry
+describes one aligned memory region and carries:
+
+* the region base address,
+* a bitvector of candidate blocks still to prefetch (64 bits for the
+  default 4 KB region / 64 B blocks),
+* an index pointing at the next candidate after the most recent miss,
+* a 3-bit pointer-chase depth counter (0 for plain spatial regions; 1 for
+  ``pointer``-hinted prefetches; ``recursive_depth`` for recursive ones).
+
+New entries go to the head; the queue is fixed-size and old entries fall
+off the bottom.  Issue order is LIFO (most recent region first — the paper's
+scheduling policy) with an open-DRAM-page preference among a head entry's
+candidate blocks.
+"""
+
+from repro.mem.controller import PrefetchRequest
+from repro.mem.layout import block_index_in_region, region_base
+
+
+class RegionEntry:
+    """One region being prefetched."""
+
+    __slots__ = ("base", "bitvec", "nblocks", "index", "depth", "queued_at")
+
+    def __init__(self, base, bitvec, nblocks, index, depth, queued_at):
+        self.base = base
+        self.bitvec = bitvec
+        self.nblocks = nblocks
+        self.index = index
+        self.depth = depth
+        self.queued_at = queued_at
+
+    def candidate_count(self):
+        return bin(self.bitvec).count("1")
+
+    def __repr__(self):
+        return "RegionEntry(0x%x %d blocks, %d pending)" % (
+            self.base,
+            self.nblocks,
+            self.candidate_count(),
+        )
+
+
+class RegionQueue:
+    """Fixed-size LIFO (or FIFO, for ablation) queue of region entries."""
+
+    def __init__(
+        self,
+        capacity,
+        region_size,
+        block_size,
+        is_resident=None,
+        policy="lifo",
+    ):
+        if policy not in ("lifo", "fifo"):
+            raise ValueError("queue policy must be 'lifo' or 'fifo'")
+        self.capacity = capacity
+        self.region_size = region_size
+        self.block_size = block_size
+        self.is_resident = is_resident
+        self.policy = policy
+        self._entries = []  # index 0 = head (most recent)
+        self._held = None  # candidate returned by push_back
+        self.regions_allocated = 0
+        self.regions_dropped = 0
+        self.candidates_issued = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _find(self, base):
+        for pos, entry in enumerate(self._entries):
+            if entry.base == base:
+                return pos
+        return -1
+
+    def allocate_region(self, miss_block, now, region_size=None, depth=0):
+        """Allocate (or refresh) the region containing ``miss_block``.
+
+        On the first miss to a region the bitvector is initialised to the
+        blocks not already resident in the L2 (excluding the miss block
+        itself, which the demand fetch brings in).  On a repeat miss the
+        existing entry's miss bit is cleared, its index advances past the
+        new miss, and the entry moves to the head.
+        """
+        rsize = region_size or self.region_size
+        base = region_base(miss_block, rsize)
+        nblocks = rsize // self.block_size
+        miss_index = block_index_in_region(miss_block, rsize, self.block_size)
+        pos = self._find(base)
+        if pos >= 0:
+            entry = self._entries.pop(pos)
+            entry.bitvec &= ~(1 << miss_index)
+            entry.index = (miss_index + 1) % entry.nblocks
+            entry.queued_at = now
+            self._entries.insert(0, entry)
+            return entry
+        bitvec = 0
+        for i in range(nblocks):
+            block = base + i * self.block_size
+            if i == miss_index:
+                continue
+            if self.is_resident is not None and self.is_resident(block):
+                continue
+            bitvec |= 1 << i
+        entry = RegionEntry(
+            base, bitvec, nblocks, (miss_index + 1) % nblocks, depth, now
+        )
+        self._insert(entry)
+        return entry
+
+    def allocate_blocks(self, blocks, now, depth=0):
+        """Allocate an entry for an explicit block list (pointer/indirect).
+
+        Pointer and indirect prefetches are region-style entries with only
+        the named blocks' bits set (typically the target block plus its
+        successor).  Blocks must share one aligned region; callers split
+        across regions when needed.
+        """
+        if not blocks:
+            return None
+        base = region_base(blocks[0], self.region_size)
+        nblocks = self.region_size // self.block_size
+        bitvec = 0
+        for block in blocks:
+            if region_base(block, self.region_size) != base:
+                continue
+            if self.is_resident is not None and self.is_resident(block):
+                continue
+            idx = block_index_in_region(block, self.region_size, self.block_size)
+            bitvec |= 1 << idx
+        if bitvec == 0:
+            return None
+        first = block_index_in_region(blocks[0], self.region_size, self.block_size)
+        entry = RegionEntry(base, bitvec, nblocks, first, depth, now)
+        self._insert(entry)
+        return entry
+
+    def _insert(self, entry):
+        self.regions_allocated += 1
+        self._entries.insert(0, entry)
+        if len(self._entries) > self.capacity:
+            self._entries.pop()  # old entries fall off the bottom
+            self.regions_dropped += 1
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+    def pop_candidate(self, now, dram=None):
+        """Return the next :class:`PrefetchRequest`, or None when empty."""
+        if self._held is not None:
+            request, self._held = self._held, None
+            return request
+        while self._entries:
+            pos = 0 if self.policy == "lifo" else len(self._entries) - 1
+            entry = self._entries[pos]
+            block = self._select_block(entry, dram)
+            if block is None:
+                self._entries.pop(pos)
+                continue
+            self.candidates_issued += 1
+            return PrefetchRequest(
+                block, entry.queued_at, depth=entry.depth, meta=entry
+            )
+        return None
+
+    def _select_block(self, entry, dram):
+        """Pick (and clear) the next candidate bit of ``entry``.
+
+        Scans from the entry's index, wrapping, and prefers the first
+        candidate whose DRAM row is already open; falls back to the first
+        candidate in scan order.  Returns None when no bits remain.
+        """
+        if entry.bitvec == 0:
+            return None
+        first_block = None
+        first_index = None
+        for step in range(entry.nblocks):
+            i = (entry.index + step) % entry.nblocks
+            if not (entry.bitvec >> i) & 1:
+                continue
+            block = entry.base + i * self.block_size
+            if first_block is None:
+                first_block, first_index = block, i
+            if dram is not None and dram.row_is_open(block):
+                entry.bitvec &= ~(1 << i)
+                entry.index = (i + 1) % entry.nblocks
+                return block
+        entry.bitvec &= ~(1 << first_index)
+        entry.index = (first_index + 1) % entry.nblocks
+        return first_block
+
+    def push_back(self, request):
+        """Hold an unissuable candidate; it is returned by the next pop."""
+        self._held = request

@@ -1,0 +1,46 @@
+"""Scheduled Region Prefetching (Lin, Reinhardt, Burger — HPCA 2001).
+
+The hardware-only baseline that GRP builds on.  On *every* L2 demand miss,
+SRP allocates a prefetch-queue entry for the whole aligned region (4 KB by
+default) containing the miss, and the controller streams the candidate
+blocks to the L2 whenever the DRAM channels are idle.  No software
+involvement, no access-pattern filtering — which is why SRP's coverage is
+high and its traffic enormous.
+"""
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.regionqueue import RegionQueue
+
+
+class SRPPrefetcher(Prefetcher):
+    """Hardware-only scheduled region prefetching."""
+
+    name = "srp"
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self.queue = RegionQueue(
+            config.prefetch_queue_size,
+            config.region_size,
+            config.block_size,
+            is_resident=hierarchy.l2.contains,
+            policy=config.prefetch_queue_policy,
+        )
+
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        self.queue.allocate_region(block, now)
+
+    def pop_candidate(self, now, dram):
+        return self.queue.pop_candidate(now, dram)
+
+    def push_back(self, request):
+        self.queue.push_back(request)
+
+    def stats_snapshot(self):
+        snap = super().stats_snapshot()
+        snap.update(
+            regions_allocated=self.queue.regions_allocated,
+            regions_dropped=self.queue.regions_dropped,
+            candidates_issued=self.queue.candidates_issued,
+        )
+        return snap

@@ -1,0 +1,80 @@
+"""ASCII bar charts.
+
+The paper's Figures 9-12 are grouped bar charts (one group per
+benchmark, one bar per scheme).  :func:`grouped_bar_chart` renders the
+same shape in a terminal so the crossover structure is visible at a
+glance without a plotting stack.
+"""
+
+
+def bar_chart(labels, values, width=50, title=None, fmt="%.2f"):
+    """Render one horizontal bar per (label, value).
+
+    Values must be non-negative; bars scale to the maximum.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    peak = max(values) if values else 0
+    label_width = max((len(str(l)) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        length = int(round(width * value / peak)) if peak else 0
+        lines.append("%-*s |%s %s" % (
+            label_width, label, "#" * length, fmt % value))
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups, series, width=40, title=None, fmt="%.2f",
+                      marks="#=@*+o"):
+    """Render grouped horizontal bars.
+
+    ``groups`` is a list of group labels (benchmarks); ``series`` is an
+    ordered mapping of series name -> list of values (one per group).
+    Each series gets its own bar glyph; a legend line is appended.
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(groups):
+            raise ValueError("series %r length mismatch" % name)
+    peak = max((max(vals) for vals in series.values() if vals), default=0)
+    label_width = max((len(str(g)) for g in groups), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for g, group in enumerate(groups):
+        for s, name in enumerate(names):
+            value = series[name][g]
+            length = int(round(width * value / peak)) if peak else 0
+            glyph = marks[s % len(marks)]
+            prefix = str(group) if s == 0 else ""
+            lines.append("%-*s |%s %s" % (
+                label_width, prefix, glyph * length, fmt % value))
+        lines.append("")
+    legend = "  ".join(
+        "%s=%s" % (marks[s % len(marks)], name)
+        for s, name in enumerate(names)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def chart_from_result(result, value_columns, width=40):
+    """Build a grouped bar chart from an ExperimentResult.
+
+    ``value_columns`` maps series names to column indices of
+    ``result.rows``; the first column supplies group labels.  Summary
+    rows (geomean/average) are included like any other group.
+    """
+    groups = [row[0] for row in result.rows]
+    series = {
+        name: [row[idx] for row in result.rows]
+        for name, idx in value_columns.items()
+    }
+    return grouped_bar_chart(groups, series, width=width,
+                             title=result.title)

@@ -1,0 +1,28 @@
+"""Machine-readable exports of experiment results."""
+
+import csv
+import io
+import json
+
+
+def result_to_csv(result):
+    """Serialize one ExperimentResult as CSV text (headers + rows)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def results_to_json(results):
+    """Serialize a mapping of {name: ExperimentResult} as JSON text."""
+    payload = {}
+    for name, result in results.items():
+        payload[name] = {
+            "title": result.title,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "notes": result.notes,
+        }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,8 @@
+"""Simulation harness: machine configuration, statistics, and the runner."""
+
+from repro.sim.config import MachineConfig
+from repro.sim.stats import SimStats
+from repro.sim.simulator import Simulator
+from repro.sim.runner import SCHEMES, run_workload
+
+__all__ = ["MachineConfig", "SCHEMES", "SimStats", "Simulator", "run_workload"]

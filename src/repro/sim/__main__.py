@@ -1,0 +1,57 @@
+"""Run one (benchmark, scheme) simulation from the command line.
+
+Usage::
+
+    python -m repro.sim swim grp
+    python -m repro.sim mcf srp --refs 100000 --policy conservative
+    python -m repro.sim art none --mode perfect_l2
+"""
+
+import argparse
+
+from repro.sim.config import MachineConfig
+from repro.sim.runner import SCHEMES, run_workload
+from repro.workloads import workload_names
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.sim")
+    parser.add_argument("benchmark", choices=workload_names())
+    parser.add_argument("scheme", choices=sorted(SCHEMES))
+    parser.add_argument("--refs", type=int, default=None,
+                        help="trace length (default: workload's)")
+    parser.add_argument("--mode", default="real",
+                        choices=["real", "perfect_l1", "perfect_l2"])
+    parser.add_argument("--policy", default="default",
+                        choices=["conservative", "default", "aggressive"])
+    parser.add_argument("--config", default="scaled",
+                        choices=["scaled", "paper", "tiny"])
+    parser.add_argument("--baseline", action="store_true",
+                        help="also run the no-prefetching baseline and "
+                             "report relative metrics")
+    args = parser.parse_args(argv)
+
+    config = getattr(MachineConfig, args.config)()
+    stats = run_workload(args.benchmark, args.scheme, config=config,
+                         mode=args.mode, policy=args.policy,
+                         limit_refs=args.refs)
+    print("machine: %s" % config.describe())
+    print("%s / %s (%s, policy=%s)" % (args.benchmark, args.scheme,
+                                       args.mode, args.policy))
+    print("  instructions  %12d" % stats.instructions)
+    print("  cycles        %12.0f" % stats.cycles)
+    print("  IPC           %12.3f" % stats.ipc)
+    print("  L2 miss rate  %11.1f%%" % (100 * stats.l2_miss_rate))
+    print("  DRAM traffic  %12d bytes" % stats.traffic_bytes)
+    print("  pf accuracy   %11.1f%%" % (100 * stats.prefetch_accuracy))
+    if args.baseline and args.scheme != "none":
+        base = run_workload(args.benchmark, "none", config=config,
+                            limit_refs=args.refs)
+        print("vs no prefetching:")
+        print("  speedup       %12.3f" % stats.speedup_over(base))
+        print("  traffic ratio %12.2fx" % stats.traffic_ratio_over(base))
+        print("  coverage      %11.1f%%" % (100 * stats.coverage_over(base)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Scheme registry and the one-call experiment runner.
+
+``run_workload("swim", "grp")`` builds the workload in a fresh address
+space, compiles hints when the scheme uses them, generates the trace, and
+simulates it — returning the run's :class:`~repro.sim.stats.SimStats`.
+
+Schemes
+-------
+========  ==========================================================
+none      no prefetching (baseline; also used for perfect-L1/L2 modes)
+stride    predictor-directed stream buffers (Sherwood et al.)
+srp       scheduled region prefetching (hardware only)
+pointer   stateless content-directed pointer prefetching
+pointer-recursive   the same, chasing ``recursive_depth`` levels
+grp       guided region prefetching with variable-size regions (GRP/Var)
+grp-fix   GRP with fixed-size regions only (GRP/Fix)
+========  ==========================================================
+"""
+
+from repro.compiler.driver import compile_hints
+from repro.mem.space import AddressSpace
+from repro.prefetch.grp import GRPPrefetcher
+from repro.prefetch.pointer import PointerPrefetcher, RecursivePointerPrefetcher
+from repro.prefetch.srp import SRPPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.trace.interp import Interpreter
+from repro.workloads.base import Workload, get_workload
+
+
+class SchemeSpec:
+    """How to build the prefetcher (and whether the binary carries hints)."""
+
+    def __init__(self, factory, hinted=False, variable_regions=True,
+                 indirect_mode="instruction"):
+        self.factory = factory
+        self.hinted = hinted
+        self.variable_regions = variable_regions
+        self.indirect_mode = indirect_mode
+
+
+SCHEMES = {
+    "none": SchemeSpec(lambda result: None),
+    "stride": SchemeSpec(lambda result: StridePrefetcher()),
+    "srp": SchemeSpec(lambda result: SRPPrefetcher()),
+    "pointer": SchemeSpec(lambda result: PointerPrefetcher()),
+    "pointer-recursive": SchemeSpec(
+        lambda result: RecursivePointerPrefetcher()
+    ),
+    "grp": SchemeSpec(
+        lambda result: GRPPrefetcher(result.hint_table, variable_regions=True),
+        hinted=True,
+        variable_regions=True,
+    ),
+    "grp-fix": SchemeSpec(
+        lambda result: GRPPrefetcher(result.hint_table,
+                                     variable_regions=False),
+        hinted=True,
+        variable_regions=False,
+    ),
+    # Section 3.3.3's alternate indirect encoding: a base-setting
+    # instruction per loop plus an indirect hint bit on the b[i] loads.
+    "grp-hintbit": SchemeSpec(
+        lambda result: GRPPrefetcher(result.hint_table,
+                                     variable_regions=True),
+        hinted=True,
+        variable_regions=True,
+        indirect_mode="hintbit",
+    ),
+}
+
+
+def run_workload(workload, scheme, config=None, mode="real", policy="default",
+                 limit_refs=None, scale=1.0, seed=12345):
+    """Run one (workload, scheme) simulation; return its SimStats.
+
+    ``workload`` may be a name or a :class:`Workload` instance.  ``mode``
+    selects perfect-cache variants (``real``/``perfect_l1``/``perfect_l2``).
+    ``policy`` is the compiler's spatial-marking policy (Section 5.4).
+    """
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    if not isinstance(workload, Workload):
+        raise TypeError("workload must be a name or Workload instance")
+    try:
+        spec = SCHEMES[scheme]
+    except KeyError:
+        raise KeyError(
+            "unknown scheme %r (have: %s)" % (scheme, ", ".join(SCHEMES))
+        )
+    config = config or MachineConfig.scaled()
+    space = AddressSpace()
+    built = workload.build(space, scale=scale)
+    program = built.program.finalize()
+
+    result = compile_hints(
+        program,
+        l2_size=config.l2_size,
+        block_size=config.block_size,
+        policy=policy,
+        variable_regions=spec.variable_regions,
+        indirect_mode=spec.indirect_mode,
+    )
+    prefetcher = spec.factory(result)
+    hint_table = result.hint_table if spec.hinted else None
+    compile_for_trace = result if spec.hinted else None
+
+    interp = Interpreter(
+        program, space, compile_for_trace, seed=seed,
+        block_size=config.block_size, ops_scale=workload.ops_scale,
+    )
+    for name, addr in built.pointer_bindings.items():
+        interp.bind_pointer(name, addr)
+
+    sim = Simulator(config, space, prefetcher, mode=mode,
+                    hint_table=hint_table)
+    limit = limit_refs if limit_refs is not None else workload.default_refs
+    return sim.run(
+        interp.run(limit=limit),
+        workload=workload.name,
+        scheme=scheme if mode == "real" else "%s/%s" % (scheme, mode),
+    )

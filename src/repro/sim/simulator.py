@@ -1,0 +1,22 @@
+"""The top-level simulator: core + hierarchy + prefetcher over one trace."""
+
+from repro.cpu.core import Core
+from repro.mem.hierarchy import Hierarchy
+from repro.sim.stats import SimStats
+
+
+class Simulator:
+    """Owns the simulated machine for one run."""
+
+    def __init__(self, config, space, prefetcher=None, mode="real",
+                 hint_table=None):
+        self.config = config
+        self.space = space
+        self.hierarchy = Hierarchy(config, space, prefetcher, mode)
+        self.core = Core(config, self.hierarchy, hint_table)
+
+    def run(self, events, workload="?", scheme="?", limit_refs=None):
+        """Execute a trace event stream; return the run's :class:`SimStats`."""
+        self.core.execute(events, limit_refs=limit_refs)
+        self.hierarchy.finish(self.core.cycles)
+        return SimStats(workload, scheme, self.core, self.hierarchy)

@@ -1,0 +1,104 @@
+"""Simulation statistics: the metrics the paper's tables report.
+
+* **IPC / speedup** — instructions per cycle from the core model; speedups
+  are computed against the no-prefetching run of the same workload.
+* **Traffic** — total DRAM bytes moved (demand + prefetch + writeback),
+  the quantity Figure 12 and Table 5 normalize.
+* **Coverage** — percentage reduction in demand fetches that reach DRAM,
+  versus the no-prefetching baseline (the paper uses the reduction in L2
+  misses; demand DRAM fetches are the same events seen from below).
+* **Accuracy** — fraction of prefetched blocks referenced before eviction,
+  counting never-referenced residents as useless.
+"""
+
+
+class SimStats:
+    """A bundle of results from one simulation run."""
+
+    def __init__(self, workload, scheme, core, hierarchy):
+        self.workload = workload
+        self.scheme = scheme
+        self.instructions = core.instructions
+        self.cycles = core.cycles
+        self.ipc = core.ipc
+        self.load_stall_cycles = core.load_stall_cycles
+        self.l1 = hierarchy.l1.stats.snapshot()
+        self.l2 = hierarchy.l2.stats.snapshot()
+        self.hier = hierarchy.stats.snapshot()
+        dram = hierarchy.dram.stats
+        self.dram_demand_blocks = dram.demand_blocks
+        self.dram_prefetch_blocks = dram.prefetch_blocks
+        self.dram_writeback_blocks = dram.writeback_blocks
+        self.row_hit_rate = dram.row_hit_rate
+        self.traffic_bytes = hierarchy.traffic_bytes()
+        self.prefetch_accuracy = hierarchy.prefetch_accuracy()
+        self.prefetcher = (
+            hierarchy.prefetcher.stats_snapshot()
+            if hierarchy.prefetcher is not None
+            else {}
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def l2_miss_rate(self):
+        return self.l2["miss_rate"]
+
+    @property
+    def l2_demand_misses(self):
+        return self.l2["demand_misses"]
+
+    def speedup_over(self, baseline):
+        """IPC ratio versus a baseline run of the same workload."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def traffic_ratio_over(self, baseline):
+        """Traffic normalized to a baseline run of the same workload."""
+        if baseline.traffic_bytes == 0:
+            return 0.0
+        return self.traffic_bytes / baseline.traffic_bytes
+
+    def coverage_over(self, baseline):
+        """Fractional reduction in demand DRAM fetches vs the baseline.
+
+        Can be negative when prefetching pollutes the cache and *causes*
+        demand fetches (the paper's ammp rows show exactly that).
+        """
+        if baseline.dram_demand_blocks == 0:
+            return 0.0
+        return 1.0 - self.dram_demand_blocks / baseline.dram_demand_blocks
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        """Compact dict for table generation."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "l2_miss_rate": self.l2_miss_rate,
+            "l2_demand_misses": self.l2_demand_misses,
+            "traffic_bytes": self.traffic_bytes,
+            "prefetch_accuracy": self.prefetch_accuracy,
+            "dram_demand_blocks": self.dram_demand_blocks,
+            "dram_prefetch_blocks": self.dram_prefetch_blocks,
+        }
+
+    def __repr__(self):
+        return "SimStats(%s/%s ipc=%.3f missrate=%.3f traffic=%dB)" % (
+            self.workload, self.scheme, self.ipc, self.l2_miss_rate,
+            self.traffic_bytes,
+        )
+
+
+def geometric_mean(values):
+    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,18 @@
+"""Trace generation: event records and the IR interpreter."""
+
+from repro.trace.events import (
+    IndirectPrefetch,
+    LoopBound,
+    MemRef,
+    Ops,
+)
+from repro.trace.interp import Interpreter, TraceLimit
+
+__all__ = [
+    "IndirectPrefetch",
+    "Interpreter",
+    "LoopBound",
+    "MemRef",
+    "Ops",
+    "TraceLimit",
+]

@@ -1,0 +1,77 @@
+"""Trace persistence: save an event stream to disk and replay it.
+
+Useful for decoupling trace generation from simulation — capture one
+(deterministic) trace and sweep hardware parameters over it without
+re-interpreting the program — and for inspecting what a workload
+actually does.
+
+Format: one event per line.
+
+====  =======================================  =====================
+tag   fields                                   event
+====  =======================================  =====================
+L/S   ref_id addr size                         load / store
+O     count                                    non-memory ops
+B     bound                                    LoopBound directive
+I     base_addr elem_size index_addr           IndirectPrefetch
+====  =======================================  =====================
+
+Addresses are hex; the file is plain text so traces diff cleanly.
+Note that a trace bakes in its software directives: a trace captured
+with a GRP compile result contains the GRP binary's directives, one
+captured without is the unhinted binary.
+"""
+
+from repro.trace.events import IndirectPrefetch, LoopBound, MemRef, Ops
+
+
+def save_trace(events, path):
+    """Write an event stream to ``path``; returns the event count."""
+    count = 0
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(format_event(event))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def format_event(event):
+    """Serialize one event to its line form."""
+    if isinstance(event, MemRef):
+        tag = "S" if event.is_store else "L"
+        return "%s %s %x %d" % (tag, event.ref_id, event.addr, event.size)
+    if isinstance(event, Ops):
+        return "O %d" % event.count
+    if isinstance(event, LoopBound):
+        return "B %d" % event.bound
+    if isinstance(event, IndirectPrefetch):
+        return "I %x %d %x" % (
+            event.base_addr, event.elem_size, event.index_addr)
+    raise TypeError("unknown trace event %r" % event)
+
+
+def parse_event(line):
+    """Parse one line back into an event."""
+    parts = line.split()
+    tag = parts[0]
+    if tag in ("L", "S"):
+        return MemRef(parts[1], int(parts[2], 16), int(parts[3]),
+                      is_store=(tag == "S"))
+    if tag == "O":
+        return Ops(int(parts[1]))
+    if tag == "B":
+        return LoopBound(int(parts[1]))
+    if tag == "I":
+        return IndirectPrefetch(int(parts[1], 16), int(parts[2]),
+                                int(parts[3], 16))
+    raise ValueError("bad trace line: %r" % line)
+
+
+def load_trace(path):
+    """Yield events from a trace file."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                yield parse_event(line)

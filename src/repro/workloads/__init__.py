@@ -1,0 +1,37 @@
+"""The synthetic benchmark suite.
+
+Importing this package registers all workloads; use
+:func:`repro.workloads.base.get_workload` / :func:`workload_names` to
+enumerate them.
+"""
+
+from repro.workloads.base import (
+    Built,
+    Workload,
+    get_workload,
+    register,
+    workload_names,
+)
+
+# Importing each module registers its workload.  Order matches the
+# paper's Table 3 (by SPEC number), with sphinx last.
+from repro.workloads import gzip  # noqa: F401
+from repro.workloads import wupwise  # noqa: F401
+from repro.workloads import swim  # noqa: F401
+from repro.workloads import mgrid  # noqa: F401
+from repro.workloads import applu  # noqa: F401
+from repro.workloads import vpr  # noqa: F401
+from repro.workloads import mesa  # noqa: F401
+from repro.workloads import art  # noqa: F401
+from repro.workloads import mcf  # noqa: F401
+from repro.workloads import equake  # noqa: F401
+from repro.workloads import crafty  # noqa: F401
+from repro.workloads import ammp  # noqa: F401
+from repro.workloads import parser  # noqa: F401
+from repro.workloads import gap  # noqa: F401
+from repro.workloads import bzip2  # noqa: F401
+from repro.workloads import twolf  # noqa: F401
+from repro.workloads import apsi  # noqa: F401
+from repro.workloads import sphinx  # noqa: F401
+
+__all__ = ["Built", "Workload", "get_workload", "register", "workload_names"]

@@ -1,0 +1,64 @@
+"""188.ammp — molecular dynamics (C, FP).
+
+Table 6: 88.6% of ammp's L2 misses come from **linked list traversal**.
+The atom list nodes are large (the real ATOM struct is ~2 KB) and are
+visited through a list whose order no longer matches allocation order
+after setup.  This is the benchmark where aggressive prefetching
+*hurts*: the paper's Table 5 shows SRP and stride at **negative
+coverage** (-7.8) and SRP at 0.9% accuracy with 14x traffic — pure
+pollution — while GRP stays nearly neutral (coverage 0.7, traffic 1.12)
+because few references earn hints.
+"""
+
+from repro.compiler.ir import (
+    Compute,
+    ForLoop,
+    PointerVar,
+    Program,
+    PtrChase,
+    PtrRef,
+    Sym,
+    Var,
+    WhileLoop,
+)
+from repro.compiler.symbols import StructDecl
+from repro.workloads.base import Built, Workload, register
+from repro.workloads.common import build_linked_list
+
+
+@register
+class Ammp(Workload):
+    name = "ammp"
+    category = "fp"
+    language = "c"
+    default_refs = 120_000
+    ops_scale = 156.8
+
+    def build(self, space, scale=1.0):
+        atom = StructDecl("atom_t")
+        for k in range(6):
+            atom.add_scalar("coord%d" % k, 8)
+        atom.add_pointer("next", target="atom_t")
+        for k in range(20):
+            atom.add_scalar("force%d" % k, 8)
+
+        n_atoms = max(1024, int(2048 * scale))
+        head = build_linked_list(
+            space, atom, n_atoms, layout="shuffled", spacing=64
+        )
+
+        a = PointerVar("a", struct="atom_t")
+        t = Var("t")
+        # mm_fv_update_nonbon: walk the atom list, touching coordinates
+        # and force fields scattered through the big struct.
+        walk = WhileLoop(Sym("n_atoms"), [
+            PtrRef(a, field=atom.field("coord0")),
+            PtrRef(a, field=atom.field("coord3")),
+            PtrRef(a, field=atom.field("force0"), is_store=True),
+            PtrRef(a, field=atom.field("force12"), is_store=True),
+            PtrChase(a, atom.field("next")),
+            Compute(14),
+        ])
+        body = ForLoop(t, 0, 40, [walk])
+        program = Program("ammp", [body], bindings={"n_atoms": n_atoms})
+        return Built(program, pointer_bindings={"a": head})

@@ -1,0 +1,92 @@
+"""179.art — Adaptive Resonance Theory neural net (C, FP).
+
+The paper calls art **bandwidth bound** (Table 6: 24% of the gap is raw
+bandwidth, 36% is transposed heap-array access): the simulation repeatedly
+streams weight matrices far larger than the L2 with almost no compute per
+element, in both row order and transposed order (the f1/f2 layer sweeps).
+GRP's accuracy advantage translates directly into performance here — the
+paper reports GRP beating SRP by over 10% on art because wasted prefetch
+traffic competes with demand fetches for channels.
+"""
+
+from repro.compiler.ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Compute,
+    ForLoop,
+    HeapRowRef,
+    Program,
+    Sym,
+    Var,
+)
+from repro.workloads.base import Built, Workload, register
+from repro.workloads.common import build_pointer_rows, materialize
+
+
+@register
+class Art(Workload):
+    name = "art"
+    category = "fp"
+    language = "c"
+    default_refs = 150_000
+    ops_scale = 1.7
+
+    def build(self, space, scale=1.0):
+        neurons = max(48, int(64 * scale))
+        inputs = max(64, int(96 * scale))
+
+        # tds/bus weight matrices as heap row arrays (f1 -> f2 weights).
+        # Row allocations carry allocator jitter, so cross-row strides
+        # are irregular (the f1_neuron structs of the real code).
+        bus = ArrayDecl("bus", 8, [neurons], storage="heap", is_pointer=True)
+        build_pointer_rows(space, bus, neurons, inputs * 8, jitter=128)
+        tds = ArrayDecl("tds", 8, [neurons], storage="heap", is_pointer=True)
+        build_pointer_rows(space, tds, neurons, inputs * 8, jitter=128)
+        f1_act = ArrayDecl("f1_act", 8, [inputs], storage="heap")
+        f2_act = ArrayDecl("f2_act", 8, [neurons], storage="heap")
+        # The f1 layer's per-input fields (P, Q, U, V, W, X of the real
+        # f1_neuron struct), streamed alongside the weight rows.
+        f1p = ArrayDecl("f1p", 8, [inputs], storage="heap")
+        f1q = ArrayDecl("f1q", 8, [inputs], storage="heap")
+        f1u = ArrayDecl("f1u", 8, [inputs], storage="heap")
+        f1v = ArrayDecl("f1v", 8, [inputs], storage="heap")
+        f1w = ArrayDecl("f1w", 8, [inputs], storage="heap")
+        f1x = ArrayDecl("f1x", 8, [inputs], storage="heap")
+        for arr in (f1_act, f2_act, f1p, f1q, f1u, f1v, f1w, f1x):
+            materialize(space, arr)
+
+        i, j, t = Var("i"), Var("j"), Var("t")
+        ai, aj = Affine.of(i), Affine.of(j)
+
+        # Forward pass: stream each neuron's weight rows.  The network
+        # dimensions are runtime inputs (Sym bounds), so reuse distances
+        # through these nests are unknown to the compiler.
+        forward = ForLoop(j, 0, Sym("neurons"), [
+            ForLoop(i, 0, Sym("inputs"), [
+                HeapRowRef(bus, aj, ai, 8),
+                HeapRowRef(tds, aj, ai, 8),
+                ArrayRef(f1_act, [ai]),
+                ArrayRef(f1p, [ai]),
+                ArrayRef(f1q, [ai]),
+                ArrayRef(f1u, [ai]),
+                ArrayRef(f1v, [ai]),
+                ArrayRef(f1w, [ai], is_store=True),
+                ArrayRef(f1x, [ai], is_store=True),
+                Compute(5),
+            ]),
+            ArrayRef(f2_act, [aj], is_store=True),
+        ])
+        # Match/learn pass: TRANSPOSED walk of the same heap rows (fix one
+        # input, visit every neuron's weight for it) -- the transposed
+        # heap-array access of Table 6.  Unknown reuse distance: unhinted.
+        learn = ForLoop(i, 0, Sym("inputs"), [
+            ForLoop(j, 0, Sym("neurons"), [
+                HeapRowRef(bus, aj, ai, 8, is_store=True),
+                Compute(2),
+            ]),
+        ])
+        body = ForLoop(t, 0, 8, [forward, learn])
+        program = Program("art", [body],
+                          bindings={"neurons": neurons, "inputs": inputs})
+        return Built(program)

@@ -1,0 +1,146 @@
+"""Shared data-structure builders for the synthetic benchmarks.
+
+These helpers materialize the structures the IR programs traverse:
+arrays (static or heap), linked lists (sequential or shuffled layout),
+binary trees, arrays of row pointers (``T **``), and 4-byte index arrays.
+Pointer values are recorded in the address space's word content store so
+the prefetch engines can scan fetched lines for them, exactly as the
+hardware in the paper does.
+"""
+
+import random
+
+
+def _stagger(space):
+    """Padding added after each array allocation.
+
+    Without it, arrays with power-of-two sizes land at bases congruent
+    modulo the cache way size, so every array in a loop maps to the same
+    sets and the caches thrash pathologically; worse, the concurrently
+    prefetched regions of parallel streams would all fight over the same
+    few sets' LRU ways.  Real programs avoid this by accident (odd
+    dimensions, allocator headers, intervening allocations); a rotating
+    stagger that spreads consecutive arrays across the set space
+    reproduces that accident deterministically per address space.
+    """
+    seq = getattr(space, "_stagger_seq", 0)
+    space._stagger_seq = seq + 1
+    return 192 + 4096 * (seq % 8)
+
+
+def materialize(space, array, bindings=None):
+    """Allocate storage for ``array`` and set its base address."""
+    size = array.size_bytes(bindings)
+    if size is None:
+        raise ValueError(
+            "array %s has unresolved symbolic dims" % array.name
+        )
+    if array.storage == "heap":
+        array.base = space.malloc(size + _stagger(space))
+    else:
+        array.base = space.static_alloc(size + _stagger(space))
+    return array.base
+
+
+def store_index_array(space, array, values):
+    """Fill a 4-byte index array with ``values`` (for indirect accesses)."""
+    if array.base is None:
+        raise ValueError("materialize %s first" % array.name)
+    if array.elem_size != 4:
+        raise ValueError("index arrays use 4-byte elements in this system")
+    for i, value in enumerate(values):
+        space.store_word(array.base + i * 4, int(value), size=4)
+
+
+def build_linked_list(space, struct, count, layout="sequential",
+                      next_field="next", rng=None, spacing=0):
+    """Allocate ``count`` nodes of ``struct`` linked through ``next_field``.
+
+    ``layout`` controls heap placement:
+
+    * ``sequential`` — nodes allocated back to back (the common malloc
+      pattern that makes spatial prefetching subsume pointer prefetching
+      in the paper's SPEC results);
+    * ``shuffled`` — link order is a random permutation of the nodes, so
+      successive pointers jump around the heap (mcf/twolf-style).
+
+    ``spacing`` adds padding bytes between node allocations.  Returns the
+    head node's address.  The last node's next pointer is left null (0),
+    which the interpreter treats as "restart traversal".
+    """
+    if count <= 0:
+        raise ValueError("need at least one node")
+    field = struct.field(next_field)
+    nodes = [space.malloc(struct.size + spacing) for _ in range(count)]
+    order = list(nodes)
+    if layout == "shuffled":
+        rng = rng or random.Random(7)
+        rng.shuffle(order)
+    elif layout != "sequential":
+        raise ValueError("layout must be 'sequential' or 'shuffled'")
+    for here, following in zip(order, order[1:]):
+        space.store_word(here + field.offset, following)
+    space.store_word(order[-1] + field.offset, 0)
+    return order[0]
+
+
+def build_binary_tree(space, struct, count, left_field="left",
+                      right_field="right", rng=None, layout="bfs"):
+    """Allocate a ``count``-node binary tree; returns the root address.
+
+    ``layout='bfs'`` allocates level order (spatially friendly near the
+    top); ``layout='shuffled'`` permutes allocation order so parent and
+    child land far apart (mcf's tree traversals).  Missing children are
+    null.
+    """
+    if count <= 0:
+        raise ValueError("need at least one node")
+    left = struct.field(left_field)
+    right = struct.field(right_field)
+    nodes = [space.malloc(struct.size) for _ in range(count)]
+    if layout == "shuffled":
+        rng = rng or random.Random(11)
+        rng.shuffle(nodes)
+    elif layout != "bfs":
+        raise ValueError("layout must be 'bfs' or 'shuffled'")
+    for i, node in enumerate(nodes):
+        li, ri = 2 * i + 1, 2 * i + 2
+        space.store_word(node + left.offset,
+                         nodes[li] if li < count else 0)
+        space.store_word(node + right.offset,
+                         nodes[ri] if ri < count else 0)
+    return nodes[0]
+
+
+def build_pointer_rows(space, buf, rows, row_bytes, jitter=0, rng=None):
+    """Materialize a ``T **``: ``rows`` heap rows plus the pointer array.
+
+    ``buf`` must be a 1-D pointer :class:`ArrayDecl` with extent >= rows.
+    Each row is a separate heap allocation of ``row_bytes`` bytes; row base
+    addresses are stored into the pointer array's elements.  ``jitter``
+    adds up to that many random padding bytes between rows (allocator
+    headers / freed-hole reuse), which breaks the constant cross-row
+    stride a too-clean bump layout would give PC-based stride predictors.
+    Returns the list of row base addresses.
+    """
+    if not buf.is_pointer:
+        raise ValueError("%s is not a pointer array" % buf.name)
+    materialize(space, buf)
+    rng = rng or random.Random(13)
+    bases = []
+    for i in range(rows):
+        pad = rng.randrange(0, jitter + 1) & ~15 if jitter else 0
+        row_base = space.malloc(row_bytes + pad)
+        space.store_word(buf.base + i * 8, row_base)
+        bases.append(row_base)
+    return bases
+
+
+def build_node_pointer_array(space, heads, node_addrs):
+    """Fill a pointer array with the given node addresses (heap objects)."""
+    if not heads.is_pointer:
+        raise ValueError("%s is not a pointer array" % heads.name)
+    if heads.base is None:
+        materialize(space, heads)
+    for i, addr in enumerate(node_addrs):
+        space.store_word(heads.base + i * 8, addr)

@@ -1,0 +1,107 @@
+"""181.mcf — network simplex (C, integer, pointer-heavy).
+
+The paper attributes mcf's behaviour to two patterns:
+
+* a loop that **sequentially resets a field in each object of a heap
+  array** — which is why plain pointer prefetching helps mcf in Figure 9
+  (prefetching the objects the loop touches next), and why spatial
+  prefetching covers much of it;
+* **tree traversals** over nodes scattered in the heap (60.7% of the
+  remaining misses, Table 6), which neither spatial nor bounded-depth
+  pointer chasing covers well — mcf stays far from a perfect L2.
+"""
+
+from repro.compiler.ir import (
+    Affine,
+    ArrayDecl,
+    Compute,
+    ForLoop,
+    PointerVar,
+    Program,
+    PtrAssignFromArray,
+    PtrLoop,
+    PtrRef,
+    PtrSelect,
+    Sym,
+    Var,
+    WhileLoop,
+)
+from repro.compiler.symbols import StructDecl
+from repro.workloads.base import Built, Workload, register
+from repro.workloads.common import (
+    build_binary_tree,
+    build_node_pointer_array,
+    materialize,
+)
+
+
+@register
+class Mcf(Workload):
+    name = "mcf"
+    category = "int"
+    language = "c"
+    default_refs = 120_000
+    ops_scale = 29.7
+
+    def build(self, space, scale=1.0):
+        node = StructDecl("node_t")
+        node.add_scalar("potential", 8)
+        node.add_scalar("flow", 8)
+        node.add_pointer("basic_arc", target="arc_t")
+        node.add_pointer("child", target="node_t")
+        node.add_pointer("sibling", target="node_t")
+
+        arc = StructDecl("arc_t")
+        arc.add_scalar("cost", 8)
+        arc.add_pointer("tail", target="node_t")
+        arc.add_pointer("head", target="node_t")
+        left = arc.add_pointer("left", target="arc_t")
+        right = arc.add_pointer("right", target="arc_t")
+
+        n_nodes = max(2048, int(6144 * scale))
+        # The heap array of node structures the reset loop sweeps.
+        first_node = space.malloc(node.size * n_nodes)
+        for k in range(n_nodes):
+            base = first_node + k * node.size
+            # Each node's basic_arc references a node a few entries
+            # ahead; scanning a fetched line therefore yields addresses
+            # the reset sweep is about to visit -- the accidental win
+            # the paper reports for pointer prefetching on mcf.
+            target = first_node + ((k + 8) % n_nodes) * node.size
+            space.store_word(
+                base + node.field("basic_arc").offset, target
+            )
+
+        tree_root = build_binary_tree(
+            space, arc, max(8192, int(16384 * scale)), layout="shuffled"
+        )
+        roots = ArrayDecl("roots", 8, [1], storage="heap", is_pointer=True)
+        build_node_pointer_array(space, roots, [tree_root])
+
+        p = PointerVar("p", struct="node_t")
+        cursor = PointerVar("cursor", struct="arc_t")
+        t, w = Var("t"), Var("w")
+
+        # refresh_potential: sequential field reset over the node array.
+        reset_loop = PtrLoop(p, n_nodes, node.size, [
+            PtrRef(p, field=node.field("potential"), is_store=True),
+            PtrRef(p, field=node.field("basic_arc")),
+            Compute(3),
+        ])
+        # price_out: random tree descents, restarted from the root.  The
+        # descents dominate the misses (60.7% in Table 6), which is why
+        # no prefetching scheme gets mcf anywhere near a perfect L2.
+        tree_walk = WhileLoop(Sym("walk_len"), [
+            PtrRef(cursor, field=arc.field("cost")),
+            PtrSelect(cursor, [left, right]),
+            Compute(5),
+        ])
+        body = ForLoop(t, 0, 64, [
+            ForLoop(w, 0, 32, [
+                PtrAssignFromArray(cursor, roots, Affine.constant(0)),
+                tree_walk,
+            ]),
+            reset_loop,
+        ])
+        program = Program("mcf", [body], bindings={"walk_len": 96})
+        return Built(program, pointer_bindings={"p": first_node})

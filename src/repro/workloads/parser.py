@@ -1,0 +1,108 @@
+"""197.parser — link grammar parser (C, integer).
+
+The paper's Table 3 gives parser the largest *recursive* hint count in
+the suite (1263): dictionary tries and disjunct/connector lists are
+walked recursively everywhere.  The synthetic version mixes shuffled
+linked-list walks (connector lists), a binary-trie descent, and a
+moderate sequential pass over the string region.  Stride prefetching
+does surprisingly well on parser in the paper (67% coverage) because
+the allocator hands out nodes at regular offsets — reproduced here by
+keeping part of the lists in allocation order.
+"""
+
+from repro.compiler.ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Compute,
+    ForLoop,
+    PointerVar,
+    Program,
+    PtrAssignFromArray,
+    PtrChase,
+    PtrRef,
+    PtrSelect,
+    Sym,
+    Var,
+    WhileLoop,
+)
+from repro.compiler.symbols import StructDecl
+from repro.workloads.base import Built, Workload, register
+from repro.workloads.common import (
+    build_binary_tree,
+    build_linked_list,
+    build_node_pointer_array,
+    materialize,
+)
+
+
+@register
+class Parser(Workload):
+    name = "parser"
+    category = "int"
+    language = "c"
+    default_refs = 120_000
+    ops_scale = 73.7
+
+    def build(self, space, scale=1.0):
+        connector = StructDecl("connector_t")
+        connector.add_scalar("label", 8)
+        connector.add_scalar("priority", 8)
+        connector.add_pointer("next", target="connector_t")
+
+        trie = StructDecl("dict_node_t")
+        trie.add_scalar("word", 8)
+        trie.add_pointer("left", target="dict_node_t")
+        trie.add_pointer("right", target="dict_node_t")
+
+        n_conn = max(4096, int(8192 * scale))
+        seq_head = build_linked_list(space, connector, n_conn,
+                                     layout="sequential")
+        shuf_head = build_linked_list(space, connector, n_conn,
+                                      layout="shuffled")
+        root = build_binary_tree(space, trie, max(2048, int(4096 * scale)),
+                                 layout="shuffled")
+        roots = ArrayDecl("roots", 8, [1], storage="heap", is_pointer=True)
+        build_node_pointer_array(space, roots, [root])
+
+        sent = ArrayDecl("sent", 8, [8192], storage="heap")
+        materialize(space, sent)
+
+        c1 = PointerVar("c1", struct="connector_t")
+        c2 = PointerVar("c2", struct="connector_t")
+        d = PointerVar("d", struct="dict_node_t")
+        i, t = Var("i"), Var("t")
+
+        seq_walk = WhileLoop(Sym("conn_len"), [
+            PtrRef(c1, field=connector.field("label")),
+            PtrChase(c1, connector.field("next")),
+            Compute(4),
+        ])
+        shuf_walk = WhileLoop(Sym("conn_len"), [
+            PtrRef(c2, field=connector.field("priority")),
+            PtrChase(c2, connector.field("next")),
+            Compute(4),
+        ])
+        trie_descend = WhileLoop(Sym("trie_depth"), [
+            PtrRef(d, field=trie.field("word")),
+            PtrSelect(d, [trie.field("left"), trie.field("right")]),
+            Compute(5),
+        ])
+        sentence_scan = ForLoop(i, 0, 8192, [
+            ArrayRef(sent, [Affine.of(i)]),
+            Compute(2),
+        ])
+        body = ForLoop(t, 0, 24, [
+            seq_walk,
+            PtrAssignFromArray(d, roots, Affine.constant(0)),
+            trie_descend,
+            shuf_walk,
+            sentence_scan,
+        ])
+        program = Program(
+            "parser", [body],
+            bindings={"conn_len": n_conn // 8, "trie_depth": 48},
+        )
+        return Built(program, pointer_bindings={
+            "c1": seq_head, "c2": shuf_head,
+        })

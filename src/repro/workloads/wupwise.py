@@ -1,0 +1,69 @@
+"""168.wupwise — lattice QCD (Fortran, FP).
+
+Dense complex-arithmetic kernels (zgemm/zaxpy style) streaming through
+large arrays with unit stride, 16-byte (complex*16) elements.  Table 3
+shows wupwise with spatial hints only — no pointers, a handful of static
+loops — and Table 5 shows the highest baseline miss rate in the suite
+(73.1%) with near-total SRP/GRP coverage: it is the canonical
+"streaming code that region prefetching simply fixes".
+"""
+
+from repro.compiler.ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Compute,
+    ForLoop,
+    Program,
+    Var,
+)
+from repro.workloads.base import Built, Workload, register
+from repro.workloads.common import materialize
+
+
+@register
+class Wupwise(Workload):
+    name = "wupwise"
+    category = "fp"
+    language = "fortran"
+    default_refs = 120_000
+
+    ops_scale = 21.1
+
+    def build(self, space, scale=1.0):
+        n = max(4_000, int(6_000 * scale))
+        # The su(3) kernels stream many operands at once: 12 spinor /
+        # gauge arrays live in the hot loops, more concurrent streams
+        # than the 8 stream buffers can hold.
+        names = ["x", "y", "z", "u1", "u2", "u3", "r1", "r2", "r3",
+                 "w1", "w2", "w3"]
+        arrays = {}
+        for name in names:
+            arrays[name] = ArrayDecl(name, 16, [n], layout="col")
+            materialize(space, arrays[name])
+
+        i, t = Var("i"), Var("t")
+        ai = Affine.of(i)
+        # gammul/su3mul-style pass: per site, read three gauge-matrix
+        # streams and three spinor streams, write three results.
+        su3mul = ForLoop(i, 0, n, [
+            ArrayRef(arrays["u1"], [ai]),
+            ArrayRef(arrays["u2"], [ai]),
+            ArrayRef(arrays["u3"], [ai]),
+            ArrayRef(arrays["x"], [ai]),
+            ArrayRef(arrays["y"], [ai]),
+            ArrayRef(arrays["z"], [ai]),
+            ArrayRef(arrays["r1"], [ai], is_store=True),
+            ArrayRef(arrays["r2"], [ai], is_store=True),
+            ArrayRef(arrays["r3"], [ai], is_store=True),
+            Compute(22),  # complex 3x3 matrix-vector arithmetic
+        ])
+        # zaxpy over the accumulator streams.
+        zaxpy = ForLoop(i, 0, n, [
+            ArrayRef(arrays["w1"], [ai]),
+            ArrayRef(arrays["w2"], [ai]),
+            ArrayRef(arrays["w3"], [ai], is_store=True),
+            Compute(9),
+        ])
+        body = ForLoop(t, 0, 10, [su3mul, zaxpy])
+        return Built(Program("wupwise", [body]))

@@ -1,0 +1,184 @@
+"""Tests for the shared workload data-structure builders."""
+
+import random
+
+import pytest
+
+from repro.compiler.symbols import ArrayDecl, StructDecl, Sym
+from repro.mem.space import AddressSpace
+from repro.workloads.common import (
+    build_binary_tree,
+    build_linked_list,
+    build_node_pointer_array,
+    build_pointer_rows,
+    materialize,
+    store_index_array,
+)
+
+
+def list_struct():
+    t = StructDecl("t")
+    t.add_scalar("val", 8)
+    t.add_pointer("next", target="t")
+    return t
+
+
+class TestMaterialize:
+    def test_assigns_heap_base(self):
+        space = AddressSpace()
+        arr = ArrayDecl("a", 8, [100], storage="heap")
+        base = materialize(space, arr)
+        assert arr.base == base
+        assert space.heap.contains(base)
+
+    def test_assigns_static_base(self):
+        space = AddressSpace()
+        arr = ArrayDecl("a", 8, [100], storage="static")
+        materialize(space, arr)
+        assert space.static.contains(arr.base)
+
+    def test_symbolic_dims_need_bindings(self):
+        space = AddressSpace()
+        arr = ArrayDecl("a", 8, [Sym("n")], storage="heap")
+        with pytest.raises(ValueError):
+            materialize(space, arr)
+        materialize(space, arr, bindings={"n": 10})
+        assert arr.base is not None
+
+    def test_stagger_separates_set_mappings(self):
+        """Consecutive power-of-two arrays must not be set-congruent."""
+        space = AddressSpace()
+        bases = []
+        for k in range(4):
+            arr = ArrayDecl("a%d" % k, 8, [1 << 14], storage="heap")
+            bases.append(materialize(space, arr))
+        offsets = {b % (32 * 1024) for b in bases}
+        assert len(offsets) == len(bases)
+
+
+class TestLinkedList:
+    def test_sequential_links_are_in_order(self):
+        space = AddressSpace()
+        t = list_struct()
+        head = build_linked_list(space, t, 10, layout="sequential")
+        offset = t.field("next").offset
+        prev, node = None, head
+        count = 1
+        while True:
+            nxt = space.load_word(node + offset)
+            if not nxt:
+                break
+            assert nxt > node  # allocation order
+            node = nxt
+            count += 1
+        assert count == 10
+
+    def test_shuffled_visits_every_node_once(self):
+        space = AddressSpace()
+        t = list_struct()
+        head = build_linked_list(space, t, 50, layout="shuffled",
+                                 rng=random.Random(3))
+        offset = t.field("next").offset
+        seen = set()
+        node = head
+        while node:
+            assert node not in seen
+            seen.add(node)
+            node = space.load_word(node + offset) or 0
+        assert len(seen) == 50
+
+    def test_rejects_bad_layout(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            build_linked_list(space, list_struct(), 4, layout="weird")
+
+    def test_rejects_empty(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            build_linked_list(space, list_struct(), 0)
+
+
+class TestBinaryTree:
+    def tree_struct(self):
+        t = StructDecl("node")
+        t.add_scalar("key", 8)
+        t.add_pointer("left", target="node")
+        t.add_pointer("right", target="node")
+        return t
+
+    def test_complete_tree_reachable(self):
+        space = AddressSpace()
+        t = self.tree_struct()
+        root = build_binary_tree(space, t, 15)
+        left, right = t.field("left"), t.field("right")
+        seen = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if not node or node in seen:
+                continue
+            seen.add(node)
+            stack.append(space.load_word(node + left.offset) or 0)
+            stack.append(space.load_word(node + right.offset) or 0)
+        seen.discard(0)
+        assert len(seen) == 15
+
+    def test_leaves_have_null_children(self):
+        space = AddressSpace()
+        t = self.tree_struct()
+        root = build_binary_tree(space, t, 1)
+        assert space.load_word(root + t.field("left").offset) == 0
+        assert space.load_word(root + t.field("right").offset) == 0
+
+
+class TestPointerRows:
+    def test_rows_stored_and_heap(self):
+        space = AddressSpace()
+        buf = ArrayDecl("buf", 8, [8], storage="heap", is_pointer=True)
+        rows = build_pointer_rows(space, buf, 8, 256)
+        for k, row in enumerate(rows):
+            assert space.load_word(buf.base + 8 * k) == row
+            assert space.is_heap_address(row)
+
+    def test_jitter_varies_spacing(self):
+        space = AddressSpace()
+        buf = ArrayDecl("buf", 8, [32], storage="heap", is_pointer=True)
+        rows = build_pointer_rows(space, buf, 32, 256, jitter=256)
+        gaps = {b - a for a, b in zip(rows, rows[1:])}
+        assert len(gaps) > 1  # spacing is not constant
+
+    def test_requires_pointer_array(self):
+        space = AddressSpace()
+        buf = ArrayDecl("buf", 8, [8], storage="heap")
+        with pytest.raises(ValueError):
+            build_pointer_rows(space, buf, 8, 64)
+
+
+class TestIndexArray:
+    def test_values_readable_by_prefetcher(self):
+        space = AddressSpace()
+        arr = ArrayDecl("b", 4, [32], storage="heap")
+        materialize(space, arr)
+        store_index_array(space, arr, list(range(32)))
+        # The GRP engine reads index blocks through this API.
+        block = arr.base & ~63
+        values = space.read_index_block(block, 64)
+        assert values[:8] == list(range(8)) or len(values) > 0
+
+    def test_rejects_wrong_elem_size(self):
+        space = AddressSpace()
+        arr = ArrayDecl("b", 8, [32], storage="heap")
+        materialize(space, arr)
+        with pytest.raises(ValueError):
+            store_index_array(space, arr, [1, 2])
+
+
+class TestNodePointerArray:
+    def test_heads_stored(self):
+        space = AddressSpace()
+        t = list_struct()
+        heads = [build_linked_list(space, t, 3) for _ in range(5)]
+        arr = ArrayDecl("heads", 8, [5], storage="heap", is_pointer=True)
+        build_node_pointer_array(space, arr, heads)
+        for k, head in enumerate(heads):
+            assert space.load_word(arr.base + 8 * k) == head

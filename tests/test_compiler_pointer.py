@@ -1,0 +1,246 @@
+"""Compiler tests: pointer/recursive hints (Figure 6, Figure 8) and the
+indirect and variable-region analyses (Sections 4.3-4.4).
+"""
+
+import pytest
+
+from repro.compiler.driver import compile_hints
+from repro.compiler.hints import FIXED_REGION_COEFF
+from repro.compiler.ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    ForLoop,
+    IndexLoad,
+    Opaque,
+    PointerVar,
+    Program,
+    PtrAssignField,
+    PtrChase,
+    PtrLoop,
+    PtrRef,
+    PtrSelect,
+    Sym,
+    Var,
+    WhileLoop,
+)
+from repro.compiler.passes.region import encode_coefficient
+from repro.compiler.symbols import StructDecl
+
+L2 = 128 * 1024
+BLOCK = 64
+
+
+def hints_of(program, **kw):
+    params = dict(l2_size=L2, block_size=BLOCK)
+    params.update(kw)
+    return compile_hints(program, **params)
+
+
+def list_struct():
+    t = StructDecl("t")
+    t.add_scalar("f", 8)
+    t.add_pointer("next", target="t")
+    return t
+
+
+class TestRecursivePointer:
+    """Figure 6: while (...) { ...a->f...; a = a->next; }"""
+
+    def make(self):
+        t = list_struct()
+        a = PointerVar("a", struct="t")
+        field_ref = PtrRef(a, field=t.field("f"))
+        chase = PtrChase(a, t.field("next"))
+        loop = WhileLoop(Sym("n"), [field_ref, chase])
+        return Program("fig6", [loop]), field_ref, chase
+
+    def test_chase_marked_recursive(self):
+        program, _, chase = self.make()
+        result = hints_of(program)
+        hint = result.hint_table.get(chase.ref_id)
+        assert hint is not None and hint.recursive
+
+    def test_field_access_marked_pointer(self):
+        program, field_ref, _ = self.make()
+        result = hints_of(program)
+        hint = result.hint_table.get(field_ref.ref_id)
+        assert hint is not None and hint.pointer
+
+    def test_chase_to_other_struct_not_recursive(self):
+        t = StructDecl("t")
+        t.add_pointer("other", target="u")
+        a = PointerVar("a", struct="t")
+        chase = PtrChase(a, t.field("other"))
+        loop = WhileLoop(Sym("n"), [chase])
+        result = hints_of(Program("notrec", [loop]))
+        hint = result.hint_table.get(chase.ref_id)
+        assert hint is not None and hint.pointer  # pointer field access
+        assert not hint.recursive
+
+
+class TestPointerGrouping:
+    def test_field_access_without_pointer_sibling_unmarked(self):
+        """A scalar field access in a loop with no pointer-field access
+        from the same struct earns no pointer hint."""
+        t = StructDecl("t")
+        t.add_scalar("f", 8)
+        a = PointerVar("a", struct="t")
+        ref = PtrRef(a, field=t.field("f"))
+        loop = WhileLoop(Sym("n"), [ref])
+        result = hints_of(Program("plain", [loop]))
+        hint = result.hint_table.get(ref.ref_id)
+        assert hint is None or not hint.pointer
+
+    def test_different_struct_not_marked(self):
+        t = list_struct()
+        u = StructDecl("u")
+        u.add_scalar("g", 8)
+        a = PointerVar("a", struct="t")
+        b = PointerVar("b", struct="u")
+        chase = PtrChase(a, t.field("next"))
+        other = PtrRef(b, field=u.field("g"))
+        loop = WhileLoop(Sym("n"), [chase, other])
+        result = hints_of(Program("twostructs", [loop]))
+        hint = result.hint_table.get(other.ref_id)
+        assert hint is None or not hint.pointer
+
+    def test_tree_select_marked_recursive(self):
+        t = StructDecl("node")
+        t.add_scalar("key", 8)
+        left = t.add_pointer("left", target="node")
+        right = t.add_pointer("right", target="node")
+        a = PointerVar("a", struct="node")
+        select = PtrSelect(a, [left, right])
+        loop = WhileLoop(Sym("n"), [select])
+        result = hints_of(Program("tree", [loop]))
+        hint = result.hint_table.get(select.ref_id)
+        assert hint is not None and hint.recursive
+
+    def test_assign_field_marks_pointer(self):
+        t = StructDecl("node")
+        t.add_scalar("key", 8)
+        child = t.add_pointer("child", target="node")
+        a = PointerVar("a", struct="node")
+        b = PointerVar("b", struct="node")
+        key = PtrRef(a, field=t.field("key"))
+        assign = PtrAssignField(b, a, child)
+        loop = WhileLoop(Sym("n"), [key, assign])
+        result = hints_of(Program("assign", [loop]))
+        assert result.hint_table.get(key.ref_id).pointer
+        assert result.hint_table.get(assign.ref_id).pointer
+
+
+class TestIndirect:
+    """Section 4.3: a(s*b(i)+e) detection."""
+
+    def make(self, index_sub=None):
+        a = ArrayDecl("a", 8, [1 << 16], storage="heap")
+        b = ArrayDecl("b", 4, [4096], storage="heap")
+        i = Var("i")
+        sub = index_sub if index_sub is not None else Affine.of(i)
+        load = IndexLoad(b, sub, scale=2, offset=1)
+        ref = ArrayRef(a, [load])
+        loop = ForLoop(i, 0, 4096, [ref])
+        return Program("indirect", [loop]), load
+
+    def test_detected_with_affine_index(self):
+        program, load = self.make()
+        result = hints_of(program)
+        assert load.ref_id in result.indirect_sites
+        info = result.indirect_sites[load.ref_id]
+        assert info.scale == 2
+        assert info.offset == 1
+        assert result.hint_table.indirect_directives == 1
+
+    def test_index_array_access_gets_spatial_hint(self):
+        program, load = self.make()
+        result = hints_of(program)
+        hint = result.hint_table.get(load.ref_id)
+        assert hint is not None and hint.spatial
+
+    def test_opaque_index_not_detected(self):
+        program, load = self.make(
+            index_sub=Opaque(lambda env, r: r.randrange(4096))
+        )
+        result = hints_of(program)
+        assert load.ref_id not in result.indirect_sites
+
+    def test_disabled_by_flag(self):
+        program, load = self.make()
+        result = hints_of(program, indirect=False)
+        assert not result.indirect_sites
+
+
+class TestVariableRegion:
+    def test_coefficient_encoding(self):
+        assert encode_coefficient(8) == 3
+        assert encode_coefficient(1) == 0
+        assert encode_coefficient(64) == 6
+        assert encode_coefficient(1000) == 6  # saturates below 7
+        with pytest.raises(ValueError):
+            encode_coefficient(0)
+
+    def make_flat_loop(self, elem=8, coef=1, nested=False):
+        a = ArrayDecl("a", elem, [1 << 16], storage="heap")
+        i, t = Var("i"), Var("t")
+        ref = ArrayRef(a, [Affine.of(i, coef=coef)])
+        loop = ForLoop(i, 0, 64, [ref])
+        if nested:
+            body = ForLoop(t, 0, 4, [loop])
+        else:
+            body = loop
+        return Program("flat", [body]), ref, loop
+
+    def test_singly_nested_loop_gets_coefficient(self):
+        program, ref, loop = self.make_flat_loop()
+        result = hints_of(program)
+        hint = result.hint_table.get(ref.ref_id)
+        assert hint.region_coeff == 3  # 1 elem * 8 bytes -> 2**3
+        assert loop.loop_id in result.bound_loops
+
+    def test_nested_loop_keeps_fixed_region(self):
+        program, ref, loop = self.make_flat_loop(nested=True)
+        result = hints_of(program)
+        hint = result.hint_table.get(ref.ref_id)
+        assert hint.region_coeff == FIXED_REGION_COEFF
+        assert loop.loop_id not in result.bound_loops
+
+    def test_disabled_by_flag(self):
+        program, ref, loop = self.make_flat_loop()
+        result = hints_of(program, variable_regions=False)
+        hint = result.hint_table.get(ref.ref_id)
+        assert hint.region_coeff == FIXED_REGION_COEFF
+        assert not result.bound_loops
+
+    def test_induction_pointer_loop_gets_coefficient(self):
+        p = PointerVar("p")
+        deref = PtrRef(p, size=8)
+        loop = PtrLoop(p, 64, 16, [deref])
+        result = hints_of(Program("ptrflat", [loop]))
+        hint = result.hint_table.get(deref.ref_id)
+        assert hint.region_coeff == 4  # step 16 bytes -> 2**4
+        assert loop.loop_id in result.bound_loops
+
+
+class TestTable3Counts:
+    def test_counts_shape(self):
+        t = list_struct()
+        a = PointerVar("a", struct="t")
+        arr = ArrayDecl("arr", 8, [4096], storage="heap")
+        i = Var("i")
+        body = [
+            ForLoop(i, 0, 4096, [ArrayRef(arr, [Affine.of(i)])]),
+            WhileLoop(Sym("n"), [
+                PtrRef(a, field=t.field("f")),
+                PtrChase(a, t.field("next")),
+            ]),
+        ]
+        result = hints_of(Program("counts", body))
+        counts = result.counts()
+        assert counts["mem_insts"] == 3
+        assert counts["spatial"] == 1
+        assert counts["pointer"] == 2
+        assert counts["recursive"] == 1
+        assert counts["ratio"] == pytest.approx(100.0)
+        assert counts["indirect"] == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the limited-window CPU timing model."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.mem.hierarchy import Hierarchy
+from repro.mem.space import AddressSpace
+from repro.sim.config import MachineConfig
+from repro.trace.events import MemRef, Ops
+
+
+class PerfectMemory:
+    """A hierarchy stub with fixed access latency."""
+
+    def __init__(self, latency=3):
+        self.latency = latency
+        self.accesses = 0
+
+    def access(self, addr, now, is_store=False, ref_id=None, hint=None):
+        self.accesses += 1
+        return now + self.latency
+
+    def directive(self, event, now):
+        pass
+
+
+def make_core(latency=3, **cfg):
+    config = MachineConfig.tiny(**cfg)
+    return Core(config, PerfectMemory(latency))
+
+
+class TestThroughput:
+    def test_alu_retires_at_issue_width(self):
+        core = make_core()
+        core.execute(iter([Ops(4000)]))
+        assert core.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_bulk_and_exact_ops_paths_agree(self):
+        # 33+ ops take the closed-form path; compare against many small
+        # batches through the exact path.
+        exact = make_core()
+        exact.execute(iter([Ops(8)] * 50))
+        bulk = make_core()
+        bulk.execute(iter([Ops(400)]))
+        assert bulk.cycles == pytest.approx(exact.cycles, rel=0.05)
+
+    def test_instruction_count(self):
+        core = make_core()
+        core.execute(iter([Ops(10), MemRef("a", 0x100), Ops(5)]))
+        assert core.instructions == 16
+
+
+class TestLatencyTolerance:
+    class SlowMemory(PerfectMemory):
+        def __init__(self, latency):
+            super().__init__(latency)
+
+    def run_loads(self, n_loads, latency, window=64, ops_between=0):
+        config = MachineConfig.tiny(window_size=window)
+        core = Core(config, PerfectMemory(latency))
+        events = []
+        for k in range(n_loads):
+            events.append(MemRef("pc", 0x1000 + 64 * k))
+            if ops_between:
+                events.append(Ops(ops_between))
+        core.execute(iter(events))
+        return core
+
+    def test_window_hides_isolated_long_latency(self):
+        """One long-latency load amid ALU work costs far less than its
+        latency thanks to the reorder window."""
+        config = MachineConfig.tiny(window_size=64)
+        mem = PerfectMemory(200)
+        core = Core(config, mem)
+        core.execute(iter([Ops(30), MemRef("pc", 0x1000), Ops(30)]))
+        # 61 instructions; the load's 200 cycles overlap the trailing ops
+        # until the window wraps.
+        assert core.cycles < 260
+
+    def test_back_to_back_misses_serialize_beyond_window(self):
+        fast = self.run_loads(100, latency=10)
+        slow = self.run_loads(100, latency=500)
+        # With no independent work, long misses dominate: runtime scales
+        # far beyond the fast case.
+        assert slow.cycles > fast.cycles * 5
+
+    def test_wider_window_tolerates_more(self):
+        small = self.run_loads(200, latency=300, window=8, ops_between=16)
+        large = self.run_loads(200, latency=300, window=256, ops_between=16)
+        assert large.cycles < small.cycles
+
+    def test_load_stall_cycles_tracked(self):
+        # More loads than the window, so issue wraps onto incomplete ones.
+        core = self.run_loads(200, latency=400)
+        assert core.load_stall_cycles > 0
+
+
+class TestDirectives:
+    def test_directive_costs_one_instruction(self):
+        from repro.trace.events import LoopBound
+
+        seen = []
+
+        class Mem(PerfectMemory):
+            def directive(self, event, now):
+                seen.append((event, now))
+
+        config = MachineConfig.tiny()
+        core = Core(config, Mem())
+        core.execute(iter([LoopBound(32)]))
+        assert core.instructions == 1
+        assert len(seen) == 1
+        assert seen[0][0].bound == 32
+
+
+class TestHintDelivery:
+    def test_hint_table_lookup_passed_to_hierarchy(self):
+        from repro.compiler.hints import HintTable
+
+        got = []
+
+        class Mem(PerfectMemory):
+            def access(self, addr, now, is_store=False, ref_id=None,
+                       hint=None):
+                got.append((ref_id, hint))
+                return now + 1
+
+        table = HintTable()
+        table.mark("pc1", spatial=True)
+        config = MachineConfig.tiny()
+        core = Core(config, Mem(), hint_table=table)
+        core.execute(iter([MemRef("pc1", 0x100), MemRef("pc2", 0x200)]))
+        assert got[0][1] is not None and got[0][1].spatial
+        assert got[1][1] is None
+
+    def test_limit_refs_truncates(self):
+        core = make_core()
+        events = iter([MemRef("p", 64 * k) for k in range(100)])
+        core.execute(events, limit_refs=10)
+        assert core.hierarchy.accesses == 10

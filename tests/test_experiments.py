@@ -1,0 +1,142 @@
+"""Tests for the experiment harness (at miniature trace lengths)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_BENCHMARKS,
+    C_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    PERF_BENCHMARKS,
+    ExperimentContext,
+)
+from repro.experiments import (
+    fig1,
+    fig9,
+    fig10_11,
+    fig12,
+    sensitivity,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+SMALL = ["vpr", "swim", "mcf"]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(limit_refs=3000)
+
+
+class TestBenchmarkLists:
+    def test_partition_is_complete(self):
+        assert set(INT_BENCHMARKS) | set(FP_BENCHMARKS) == \
+            set(PERF_BENCHMARKS)
+        assert not set(INT_BENCHMARKS) & set(FP_BENCHMARKS)
+
+    def test_crafty_excluded_from_perf(self):
+        assert "crafty" in ALL_BENCHMARKS
+        assert "crafty" not in PERF_BENCHMARKS
+
+    def test_c_benchmarks_exclude_fortran(self):
+        for name in ("wupwise", "swim", "mgrid", "applu", "apsi"):
+            assert name not in C_BENCHMARKS
+
+
+class TestContextCaching:
+    def test_runs_are_memoized(self, ctx):
+        a = ctx.run("vpr", "none")
+        b = ctx.run("vpr", "none")
+        assert a is b
+
+    def test_cache_key_includes_policy_and_mode(self, ctx):
+        default = ctx.run("vpr", "grp")
+        conservative = ctx.run("vpr", "grp", policy="conservative")
+        perfect = ctx.run("vpr", "none", mode="perfect_l2")
+        assert default is not conservative
+        assert perfect is not ctx.run("vpr", "none")
+
+    def test_derived_metrics(self, ctx):
+        assert ctx.speedup("vpr", "none") == pytest.approx(1.0)
+        assert ctx.traffic_ratio("vpr", "none") == pytest.approx(1.0)
+        assert 0.0 <= ctx.perfect_l2_gap("vpr") <= 100.0
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 4]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_result_row_lookup(self):
+        result = ExperimentResult("t", ["k", "v"], [["a", 1], ["b", 2]])
+        assert result.row_by_key("b") == ["b", 2]
+        with pytest.raises(KeyError):
+            result.row_by_key("zzz")
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("t", ["k"], [["a"]], notes="hello")
+        assert "hello" in result.render()
+
+
+class TestExperimentsRunSmall:
+    """Each experiment module must produce a well-formed result on a
+    reduced benchmark set."""
+
+    def test_table1(self, ctx):
+        result = table1.run(ctx, benchmarks=SMALL)
+        assert len(result.rows) == 5
+        assert result.row_by_key("No prefetching")[1] == pytest.approx(1.0)
+
+    def test_fig1(self, ctx):
+        result = fig1.run(ctx, benchmarks=SMALL)
+        assert len(result.rows) == len(SMALL)
+        gaps = [row[5] for row in result.rows]
+        assert gaps == sorted(gaps)
+
+    def test_table3(self, ctx):
+        result = table3.run(ctx, benchmarks=SMALL)
+        for row in result.rows:
+            assert row[1] > 0  # mem insts
+
+    def test_table4(self, ctx):
+        result = table4.run(ctx, benchmarks=["mesa"])
+        row = result.rows[0]
+        dist_sum = row[3] + row[4] + row[5] + row[6]
+        assert dist_sum == pytest.approx(100.0, abs=0.5) or dist_sum == 0.0
+
+    def test_table5(self, ctx):
+        result = table5.run(ctx, benchmarks=SMALL)
+        assert result.rows[-1][0] == "average"
+
+    def test_table6(self, ctx):
+        result = table6.run(ctx, benchmarks=["mcf", "swim"])
+        assert {row[0] for row in result.rows} == {"mcf", "swim"}
+
+    def test_fig9(self, ctx):
+        result = fig9.run(ctx, benchmarks=["mcf", "twolf"])
+        assert len(result.rows) == 2
+
+    def test_fig10_11(self, ctx):
+        result = fig10_11.run(ctx, benchmarks=["vpr", "mcf"])
+        fp = fig10_11.run_fp(ctx, benchmarks=["swim"])
+        assert len(result.rows) == 2
+        assert len(fp.rows) == 1
+
+    def test_fig12(self, ctx):
+        result = fig12.run(ctx, benchmarks=SMALL)
+        assert result.rows[-1][0] == "geomean"
+
+    def test_sensitivity(self, ctx):
+        result = sensitivity.run(ctx, benchmarks=SMALL)
+        assert [row[0] for row in result.rows] == [
+            "conservative", "default", "aggressive"]
+        detail = sensitivity.run_per_benchmark(ctx, benchmarks=SMALL)
+        assert len(detail.rows) == len(SMALL)

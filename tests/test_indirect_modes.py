@@ -1,0 +1,112 @@
+"""Tests for the two indirect-prefetch encodings (Section 3.3.3).
+
+``instruction`` — the paper's primary design: one explicit prefetch
+instruction per index-array block crossing.
+``hintbit`` — the paper's sketched alternative: one base-setting
+instruction before the loop plus an ``indirect`` hint bit on the
+``b[i]`` loads, trading instruction overhead for a single concurrent
+indirection array per base register.
+"""
+
+import pytest
+
+from repro.compiler.driver import compile_hints
+from repro.compiler.ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    ForLoop,
+    IndexLoad,
+    Program,
+    Var,
+)
+from repro.mem.space import AddressSpace
+from repro.sim.runner import run_workload
+from repro.trace.events import IndirectPrefetch, SetIndirectBase
+from repro.trace.interp import Interpreter
+from repro.workloads.common import materialize, store_index_array
+
+
+def make_program():
+    space = AddressSpace()
+    a = ArrayDecl("a", 8, [1 << 14], storage="heap")
+    b = ArrayDecl("b", 4, [512], storage="heap")
+    materialize(space, a)
+    materialize(space, b)
+    store_index_array(space, b, list(range(512)))
+    i = Var("i")
+    load = IndexLoad(b, Affine.of(i))
+    program = Program("p", [ForLoop(i, 0, 256, [ArrayRef(a, [load])])])
+    return space, program, load
+
+
+class TestCompileModes:
+    def test_instruction_mode_no_hint_bit(self):
+        _, program, load = make_program()
+        result = compile_hints(program, indirect_mode="instruction")
+        hint = result.hint_table.get(load.ref_id)
+        assert not (hint is not None and hint.indirect)
+        assert not result.indirect_base_loops
+
+    def test_hintbit_mode_marks_load_and_loop(self):
+        _, program, load = make_program()
+        result = compile_hints(program, indirect_mode="hintbit")
+        hint = result.hint_table.get(load.ref_id)
+        assert hint is not None and hint.indirect
+        assert len(result.indirect_base_loops) == 1
+
+    def test_bad_mode_rejected(self):
+        _, program, _ = make_program()
+        with pytest.raises(ValueError):
+            compile_hints(program, indirect_mode="bogus")
+
+
+class TestTraceModes:
+    def test_instruction_mode_emits_per_block_directives(self):
+        space, program, _ = make_program()
+        result = compile_hints(program, indirect_mode="instruction")
+        interp = Interpreter(program, space, compile_result=result)
+        events = list(interp.run())
+        assert [e for e in events if isinstance(e, IndirectPrefetch)]
+        assert not [e for e in events if isinstance(e, SetIndirectBase)]
+
+    def test_hintbit_mode_emits_one_base_directive(self):
+        space, program, _ = make_program()
+        result = compile_hints(program, indirect_mode="hintbit")
+        interp = Interpreter(program, space, compile_result=result)
+        events = list(interp.run())
+        bases = [e for e in events if isinstance(e, SetIndirectBase)]
+        assert len(bases) == 1
+        assert not [e for e in events if isinstance(e, IndirectPrefetch)]
+
+    def test_hintbit_has_lower_instruction_overhead(self):
+        """The alternate encoding exists to cut software overhead."""
+        space, program, _ = make_program()
+        inst = compile_hints(program, indirect_mode="instruction")
+        space2, program2, _ = make_program()
+        bit = compile_hints(program2, indirect_mode="hintbit")
+        n_inst = sum(
+            1 for e in Interpreter(program, space,
+                                   compile_result=inst).run()
+            if isinstance(e, (IndirectPrefetch, SetIndirectBase))
+        )
+        n_bit = sum(
+            1 for e in Interpreter(program2, space2,
+                                   compile_result=bit).run()
+            if isinstance(e, (IndirectPrefetch, SetIndirectBase))
+        )
+        assert n_bit < n_inst
+
+
+class TestEndToEnd:
+    def test_hintbit_scheme_runs_and_helps_bzip2(self):
+        base = run_workload("bzip2", "none", limit_refs=10_000)
+        alt = run_workload("bzip2", "grp-hintbit", limit_refs=10_000)
+        assert alt.speedup_over(base) > 1.0
+
+    def test_both_modes_cover_vpr(self):
+        base = run_workload("vpr", "none", limit_refs=10_000)
+        inst = run_workload("vpr", "grp", limit_refs=10_000)
+        bit = run_workload("vpr", "grp-hintbit", limit_refs=10_000)
+        assert inst.speedup_over(base) > 1.1
+        assert bit.speedup_over(base) > 1.05

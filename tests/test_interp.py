@@ -1,0 +1,367 @@
+"""Unit tests for the IR interpreter / trace generator."""
+
+import pytest
+
+from repro.compiler.driver import compile_hints
+from repro.compiler.ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Compute,
+    ForLoop,
+    HeapRowRef,
+    IndexLoad,
+    Opaque,
+    PointerVar,
+    Program,
+    PtrAssignFromArray,
+    PtrChase,
+    PtrLoop,
+    PtrRef,
+    PtrSelect,
+    Runtime,
+    Sym,
+    Var,
+    WhileLoop,
+)
+from repro.compiler.symbols import StructDecl
+from repro.mem.space import AddressSpace
+from repro.trace.events import IndirectPrefetch, LoopBound, MemRef, Ops
+from repro.trace.interp import Interpreter
+from repro.workloads.common import (
+    build_linked_list,
+    build_pointer_rows,
+    materialize,
+    store_index_array,
+)
+
+
+def refs_of(events):
+    return [e for e in events if isinstance(e, MemRef)]
+
+
+def run_program(program, space, **kw):
+    limit = kw.pop("limit", None)
+    interp = Interpreter(program, space, **kw)
+    return interp, list(interp.run(limit=limit))
+
+
+class TestArrayAddressing:
+    def test_1d_sequential(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [16], storage="heap")
+        materialize(space, a)
+        i = Var("i")
+        program = Program("p", [ForLoop(i, 0, 4, [ArrayRef(a, [Affine.of(i)])])])
+        _, events = run_program(program, space)
+        addrs = [e.addr for e in refs_of(events)]
+        assert addrs == [a.base + 8 * k for k in range(4)]
+
+    def test_row_major_2d(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [4, 8], layout="row", storage="heap")
+        materialize(space, a)
+        i, j = Var("i"), Var("j")
+        ref = ArrayRef(a, [Affine.of(i), Affine.of(j)])
+        program = Program("p", [
+            ForLoop(i, 0, 2, [ForLoop(j, 0, 2, [ref])]),
+        ])
+        _, events = run_program(program, space)
+        addrs = [e.addr for e in refs_of(events)]
+        # row-major: a[i][j] at base + (i*8 + j)*8
+        assert addrs == [a.base, a.base + 8, a.base + 64, a.base + 72]
+
+    def test_col_major_2d(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [4, 8], layout="col", storage="heap")
+        materialize(space, a)
+        i, j = Var("i"), Var("j")
+        ref = ArrayRef(a, [Affine.of(i), Affine.of(j)])
+        program = Program("p", [
+            ForLoop(j, 0, 2, [ForLoop(i, 0, 2, [ref])]),
+        ])
+        _, events = run_program(program, space)
+        addrs = [e.addr for e in refs_of(events)]
+        # col-major: a[i][j] at base + (j*4 + i)*8
+        assert addrs == [a.base, a.base + 8, a.base + 32, a.base + 40]
+
+    def test_symbolic_dims_resolved_from_bindings(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [Sym("n")], storage="heap")
+        a.base = space.malloc(8 * 100)
+        i = Var("i")
+        program = Program(
+            "p", [ForLoop(i, 0, 3, [ArrayRef(a, [Affine.of(i)])])],
+            bindings={"n": 100},
+        )
+        _, events = run_program(program, space)
+        assert len(refs_of(events)) == 3
+
+    def test_unmaterialized_array_raises(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [16], storage="heap")
+        i = Var("i")
+        program = Program("p", [ForLoop(i, 0, 1, [ArrayRef(a, [Affine.of(i)])])])
+        interp = Interpreter(program, space)
+        with pytest.raises(RuntimeError):
+            list(interp.run())
+
+    def test_store_flag_propagates(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [16], storage="heap")
+        materialize(space, a)
+        i = Var("i")
+        ref = ArrayRef(a, [Affine.of(i)], is_store=True)
+        program = Program("p", [ForLoop(i, 0, 1, [ref])])
+        _, events = run_program(program, space)
+        assert refs_of(events)[0].is_store
+
+
+class TestLoops:
+    def test_trace_limit_stops_cleanly(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [1 << 14], storage="heap")
+        materialize(space, a)
+        i = Var("i")
+        program = Program("p", [
+            ForLoop(i, 0, 1 << 14, [ArrayRef(a, [Affine.of(i)])]),
+        ])
+        _, events = run_program(program, space, limit=10)
+        assert len(refs_of(events)) == 10
+
+    def test_negative_step_loop(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [16], storage="heap")
+        materialize(space, a)
+        i = Var("i")
+        program = Program("p", [
+            ForLoop(i, 3, -1, [ArrayRef(a, [Affine.of(i)])], step=-1),
+        ])
+        _, events = run_program(program, space)
+        addrs = [e.addr for e in refs_of(events)]
+        assert addrs == [a.base + 8 * k for k in (3, 2, 1, 0)]
+
+    def test_ops_events_batch_compute(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [16], storage="heap")
+        materialize(space, a)
+        i = Var("i")
+        program = Program("p", [
+            ForLoop(i, 0, 2, [Compute(10), ArrayRef(a, [Affine.of(i)])]),
+        ])
+        _, events = run_program(program, space)
+        ops = [e for e in events if isinstance(e, Ops)]
+        # loop overhead + compute + address op, flushed before each ref
+        assert all(o.count > 0 for o in ops)
+        assert sum(o.count for o in ops) >= 20
+
+    def test_while_loop_uses_binding(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [16], storage="heap")
+        materialize(space, a)
+        program = Program(
+            "p", [WhileLoop(Sym("n"), [ArrayRef(a, [Affine.constant(0)])])],
+            bindings={"n": 5},
+        )
+        _, events = run_program(program, space)
+        assert len(refs_of(events)) == 5
+
+
+class TestPointerTraversal:
+    def make_list(self, space, count=8, layout="sequential"):
+        t = StructDecl("t")
+        t.add_scalar("val", 8)
+        t.add_pointer("next", target="t")
+        head = build_linked_list(space, t, count, layout=layout)
+        return t, head
+
+    def test_chase_follows_stored_pointers(self):
+        space = AddressSpace()
+        t, head = self.make_list(space)
+        a = PointerVar("a", struct="t")
+        program = Program("p", [
+            WhileLoop(3, [PtrChase(a, t.field("next"))]),
+        ])
+        interp = Interpreter(program, space)
+        interp.bind_pointer("a", head)
+        events = list(interp.run())
+        addrs = [e.addr for e in refs_of(events)]
+        offset = t.field("next").offset
+        assert addrs[0] == head + offset
+        # Each subsequent chase reads the next node's field.
+        node1 = space.load_word(head + offset)
+        assert addrs[1] == node1 + offset
+
+    def test_null_restarts_traversal(self):
+        space = AddressSpace()
+        t, head = self.make_list(space, count=2)
+        a = PointerVar("a", struct="t")
+        program = Program("p", [
+            WhileLoop(4, [PtrChase(a, t.field("next"))]),
+        ])
+        interp = Interpreter(program, space)
+        interp.bind_pointer("a", head)
+        events = list(interp.run())
+        addrs = [e.addr for e in refs_of(events)]
+        # 2-node list: after reaching the null tail the walk restarts.
+        assert addrs[2] == addrs[0]
+
+    def test_ptr_loop_advances_and_reenters(self):
+        space = AddressSpace()
+        base = space.malloc(1024)
+        p = PointerVar("p")
+        t = Var("t")
+        program = Program("p", [
+            ForLoop(t, 0, 2, [
+                PtrLoop(p, 4, 16, [PtrRef(p, size=8)]),
+            ]),
+        ])
+        interp = Interpreter(program, space)
+        interp.bind_pointer("p", base)
+        events = list(interp.run())
+        addrs = [e.addr for e in refs_of(events)]
+        expected = [base + 16 * k for k in range(4)]
+        assert addrs == expected * 2  # loop re-entry resets the pointer
+
+    def test_unbound_pointer_raises(self):
+        space = AddressSpace()
+        p = PointerVar("p")
+        program = Program("p", [PtrLoop(p, 2, 8, [PtrRef(p)])])
+        interp = Interpreter(program, space)
+        with pytest.raises(KeyError):
+            list(interp.run())
+
+    def test_ptr_select_deterministic_with_seed(self):
+        space = AddressSpace()
+        node = StructDecl("node")
+        left = node.add_pointer("left", target="node")
+        right = node.add_pointer("right", target="node")
+        from repro.workloads.common import build_binary_tree
+        root = build_binary_tree(space, node, 31)
+        a = PointerVar("a", struct="node")
+        program = Program("p", [WhileLoop(8, [PtrSelect(a, [left, right])])])
+        runs = []
+        for _ in range(2):
+            interp = Interpreter(program, space, seed=7)
+            interp.bind_pointer("a", root)
+            runs.append([e.addr for e in refs_of(list(interp.run()))])
+        assert runs[0] == runs[1]
+
+
+class TestHeapRows:
+    def test_row_then_element(self):
+        space = AddressSpace()
+        buf = ArrayDecl("buf", 8, [4], storage="heap", is_pointer=True)
+        rows = build_pointer_rows(space, buf, 4, 256)
+        i, j = Var("i"), Var("j")
+        ref = HeapRowRef(buf, Affine.of(i), Affine.of(j), 8)
+        program = Program("p", [
+            ForLoop(i, 0, 2, [ForLoop(j, 0, 2, [ref])]),
+        ])
+        _, events = run_program(program, space)
+        addrs = [e.addr for e in refs_of(events)]
+        assert addrs[0] == buf.base  # row pointer load buf[0]
+        assert addrs[1] == rows[0]  # element [0][0]
+        assert addrs[3] == rows[0] + 8  # element [0][1]
+        assert addrs[5] == rows[1]  # element [1][0]
+
+
+class TestIndirectDirectives:
+    def make(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [4096], storage="heap")
+        b = ArrayDecl("b", 4, [256], storage="heap")
+        materialize(space, a)
+        materialize(space, b)
+        store_index_array(space, b, list(range(256)))
+        i = Var("i")
+        load = IndexLoad(b, Affine.of(i))
+        program = Program("p", [
+            ForLoop(i, 0, 64, [ArrayRef(a, [load])]),
+        ])
+        return space, program, a, b
+
+    def test_directives_once_per_index_block(self):
+        space, program, a, b = self.make()
+        result = compile_hints(program, l2_size=1 << 17, block_size=64)
+        interp = Interpreter(program, space, compile_result=result)
+        events = list(interp.run())
+        directives = [e for e in events if isinstance(e, IndirectPrefetch)]
+        # 64 4-byte indices = 4 blocks of the index array.
+        assert len(directives) == 4
+        assert directives[0].base_addr == a.base
+        assert directives[0].elem_size == 8
+        assert directives[0].index_addr == b.base
+
+    def test_no_directives_without_compile_result(self):
+        space, program, a, b = self.make()
+        interp = Interpreter(program, space)
+        events = list(interp.run())
+        assert not [e for e in events if isinstance(e, IndirectPrefetch)]
+
+    def test_index_values_feed_target_address(self):
+        space, program, a, b = self.make()
+        _, events = run_program(program, space)
+        refs = refs_of(events)
+        # Events alternate: b[i] load then a[b[i]] access.
+        assert refs[0].addr == b.base
+        assert refs[1].addr == a.base  # b[0] = 0
+
+
+class TestLoopBoundDirectives:
+    def test_bound_emitted_for_marked_loops(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [4096], storage="heap")
+        materialize(space, a)
+        i = Var("i")
+        program = Program("p", [
+            ForLoop(i, 0, 64, [ArrayRef(a, [Affine.of(i)])]),
+        ])
+        result = compile_hints(program, l2_size=1 << 17, block_size=64)
+        interp = Interpreter(program, space, compile_result=result)
+        events = list(interp.run())
+        bounds = [e for e in events if isinstance(e, LoopBound)]
+        assert len(bounds) == 1
+        assert bounds[0].bound == 64
+
+
+class TestRuntimeConst:
+    def test_runtime_base_constant_within_call(self):
+        space = AddressSpace()
+        a = ArrayDecl("a", 8, [1 << 14], storage="heap")
+        materialize(space, a)
+        i, s = Var("i"), Var("s")
+        picks = {}
+
+        def base(env, r):
+            key = env["s"]
+            if key not in picks:
+                picks[key] = r.randrange(100) * 64
+            return picks[key]
+
+        ref = ArrayRef(a, [Affine({i: 1}, Runtime(base))])
+        program = Program("p", [
+            ForLoop(s, 0, 3, [ForLoop(i, 0, 4, [ref])], scope_boundary=True),
+        ])
+        _, events = run_program(program, space)
+        addrs = [e.addr for e in refs_of(events)]
+        for call in range(3):
+            chunk = addrs[call * 4:(call + 1) * 4]
+            assert chunk == [chunk[0] + 8 * k for k in range(4)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        from repro.workloads import get_workload
+        traces = []
+        for _ in range(2):
+            space = AddressSpace()
+            built = get_workload("twolf").build(space)
+            interp = Interpreter(built.program, space, seed=99)
+            for name, addr in built.pointer_bindings.items():
+                interp.bind_pointer(name, addr)
+            traces.append([
+                (e.ref_id, e.addr) for e in interp.run(limit=500)
+                if isinstance(e, MemRef)
+            ])
+        assert traces[0] == traces[1]

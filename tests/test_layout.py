@@ -1,0 +1,82 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+
+from repro.mem.layout import (
+    block_base,
+    block_index_in_region,
+    block_range,
+    blocks_in_region,
+    is_power_of_two,
+    region_base,
+)
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for exp in range(20):
+            assert is_power_of_two(1 << exp)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -1, -4, 3, 5, 6, 7, 9, 100, 4095):
+            assert not is_power_of_two(value)
+
+
+class TestBlockBase:
+    def test_aligned_address_is_its_own_base(self):
+        assert block_base(0x1000, 64) == 0x1000
+
+    def test_strips_offset_bits(self):
+        assert block_base(0x103F, 64) == 0x1000
+        assert block_base(0x1040, 64) == 0x1040
+
+    def test_different_block_sizes(self):
+        assert block_base(0x12345, 32) == 0x12340
+        assert block_base(0x12345, 128) == 0x12300
+
+
+class TestRegionBase:
+    def test_4kb_regions(self):
+        assert region_base(0x1234, 4096) == 0x1000
+        assert region_base(0x1FFF, 4096) == 0x1000
+        assert region_base(0x2000, 4096) == 0x2000
+
+    def test_region_contains_block(self):
+        addr = 0xDEAD40
+        rb = region_base(addr, 4096)
+        assert rb <= addr < rb + 4096
+
+
+class TestBlocksInRegion:
+    def test_paper_geometry(self):
+        # 4 KB region / 64 B blocks -> the paper's 64-bit vector.
+        assert blocks_in_region(4096, 64) == 64
+
+    def test_small_region(self):
+        assert blocks_in_region(512, 64) == 8
+
+
+class TestBlockIndexInRegion:
+    def test_first_block(self):
+        assert block_index_in_region(0x1000, 4096, 64) == 0
+
+    def test_last_block(self):
+        assert block_index_in_region(0x1FC0, 4096, 64) == 63
+
+    def test_mid_block_offset_ignored(self):
+        assert block_index_in_region(0x1085, 4096, 64) == 2
+
+
+class TestBlockRange:
+    def test_single_block(self):
+        assert list(block_range(0x1000, 8, 64)) == [0x1000]
+
+    def test_straddles_boundary(self):
+        assert list(block_range(0x103C, 8, 64)) == [0x1000, 0x1040]
+
+    def test_spans_many_blocks(self):
+        got = list(block_range(0x1000, 200, 64))
+        assert got == [0x1000, 0x1040, 0x1080, 0x10C0]
+
+    def test_zero_offset_exact_block(self):
+        assert list(block_range(0x1000, 64, 64)) == [0x1000]

@@ -1,0 +1,72 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.mem.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_counts_outstanding(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, ready=100, now=0)
+        mshrs.allocate(0x2000, ready=120, now=0)
+        assert mshrs.outstanding(0) == 2
+
+    def test_reclaims_completed(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, ready=100, now=0)
+        assert mshrs.outstanding(101) == 0
+
+    def test_overflow_raises(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x1000, ready=100, now=0)
+        mshrs.allocate(0x2000, ready=100, now=0)
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0x3000, ready=100, now=0)
+
+    def test_needs_positive_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestMerging:
+    def test_lookup_returns_inflight_completion(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, ready=250, now=0)
+        assert mshrs.lookup(0x1000, now=10) == 250
+        assert mshrs.merges == 1
+
+    def test_lookup_misses_other_blocks(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, ready=250, now=0)
+        assert mshrs.lookup(0x2000, now=10) is None
+
+    def test_lookup_after_completion_misses(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, ready=250, now=0)
+        assert mshrs.lookup(0x1000, now=300) is None
+
+
+class TestBackPressure:
+    def test_free_when_space(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x1000, ready=500, now=0)
+        assert mshrs.earliest_free(10) == 10
+
+    def test_full_returns_earliest_completion(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x1000, ready=500, now=0)
+        mshrs.allocate(0x2000, ready=300, now=0)
+        assert mshrs.earliest_free(10) == 300
+        assert mshrs.stalls == 1
+
+    def test_mlp_bounded_by_entries(self):
+        """At most `entries` fills can be overlapping at any instant."""
+        mshrs = MSHRFile(8)
+        now = 0
+        for k in range(20):
+            free_at = mshrs.earliest_free(now)
+            start = max(now, free_at)
+            mshrs.allocate(0x1000 + k * 64, ready=start + 200, now=start)
+            assert mshrs.outstanding(start) <= 8
+            now = start + 10

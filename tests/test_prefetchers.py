@@ -1,0 +1,311 @@
+"""Behavioral tests for the prefetch engines against a real hierarchy.
+
+These drive small hand-built traces through the full Hierarchy + engine
+stack and check the paper's mechanisms: hint gating, pointer scanning
+depth, variable region sizing, indirect expansion, stream buffer
+allocation, and traffic accounting.
+"""
+
+import pytest
+
+from repro.compiler.hints import HintTable, LoadHint
+from repro.mem.hierarchy import Hierarchy
+from repro.mem.space import AddressSpace
+from repro.prefetch.grp import GRPPrefetcher
+from repro.prefetch.pointer import PointerPrefetcher, RecursivePointerPrefetcher
+from repro.prefetch.srp import SRPPrefetcher
+from repro.prefetch.stride import StridePrefetcher, StrideTable
+from repro.sim.config import MachineConfig
+from repro.trace.events import IndirectPrefetch, LoopBound
+
+
+def make_hier(prefetcher=None, **cfg):
+    config = MachineConfig.tiny(**cfg)
+    space = AddressSpace()
+    return Hierarchy(config, space, prefetcher), space, config
+
+
+def drain(hier, now):
+    hier.controller.drain(now)
+
+
+class TestSRP:
+    def test_miss_allocates_full_region(self):
+        srp = SRPPrefetcher()
+        hier, space, config = make_hier(srp)
+        base = space.malloc(config.region_size, align=config.region_size)
+        hier.access(base, now=0)
+        assert len(srp.queue) == 1
+        entry = srp.queue._entries[0]
+        assert entry.nblocks == config.region_size // config.block_size
+
+    def test_prefetches_issue_into_idle_time(self):
+        srp = SRPPrefetcher()
+        hier, space, config = make_hier(srp)
+        base = space.malloc(config.region_size, align=config.region_size)
+        hier.access(base, now=0)
+        drain(hier, now=100_000)
+        assert hier.dram.stats.prefetch_blocks > 0
+
+    def test_prefetched_blocks_become_hits(self):
+        srp = SRPPrefetcher()
+        hier, space, config = make_hier(srp)
+        base = space.malloc(config.region_size, align=config.region_size)
+        hier.access(base, now=0)
+        hier.access(base + config.block_size, now=100_000)
+        assert hier.l2.stats.demand_misses == 1
+        assert hier.l2.stats.useful_prefetches == 1
+
+    def test_every_miss_triggers_region(self):
+        """SRP is unconditional -- the source of its traffic problem."""
+        srp = SRPPrefetcher()
+        hier, space, config = make_hier(srp)
+        a = space.malloc(1 << 20, align=config.region_size)
+        for k in range(4):
+            hier.access(a + k * config.region_size, now=k * 50_000)
+        assert srp.queue.regions_allocated == 4
+
+
+class TestGRPGating:
+    def hinted(self, **bits):
+        table = HintTable()
+        table.mark("pc1", **bits)
+        return table
+
+    def test_unhinted_miss_ignored(self):
+        grp = GRPPrefetcher(hint_table=HintTable())
+        hier, space, config = make_hier(grp)
+        addr = space.malloc(4096, align=4096)
+        hier.access(addr, now=0, ref_id="pc1")
+        drain(hier, 100_000)
+        assert hier.dram.stats.prefetch_blocks == 0
+        assert grp.grp_stats.unhinted_misses_ignored == 1
+
+    def test_spatial_hint_triggers_region(self):
+        grp = GRPPrefetcher(hint_table=self.hinted(spatial=True))
+        hier, space, config = make_hier(grp)
+        addr = space.malloc(4096, align=4096)
+        hier.access(addr, now=0, ref_id="pc1")
+        drain(hier, 100_000)
+        assert hier.dram.stats.prefetch_blocks > 0
+        assert grp.grp_stats.spatial_regions == 1
+
+    def test_hint_delivered_with_request_overrides_table(self):
+        grp = GRPPrefetcher(hint_table=HintTable())
+        hier, space, config = make_hier(grp)
+        addr = space.malloc(4096, align=4096)
+        hier.access(addr, now=0, ref_id="pcX",
+                    hint=LoadHint(spatial=True))
+        assert grp.grp_stats.spatial_regions == 1
+
+
+class TestGRPPointer:
+    def build_chain(self, space, length, block=64):
+        """Chain of nodes, one per cache block, far apart."""
+        nodes = [space.malloc(block, align=4096) for _ in range(length)]
+        for a, b in zip(nodes, nodes[1:]):
+            space.store_word(a, b)
+        return nodes
+
+    def test_pointer_hint_scans_one_level(self):
+        table = HintTable()
+        table.mark("pc1", pointer=True)
+        grp = GRPPrefetcher(hint_table=table)
+        hier, space, config = make_hier(grp)
+        nodes = self.build_chain(space, 5)
+        hier.access(nodes[0], now=0, ref_id="pc1")
+        drain(hier, 1_000_000)
+        # Depth 1: node 1 (+ its successor block) prefetched, no further.
+        prefetched = {b for b in hier.l2.resident_blocks()}
+        assert nodes[1] in prefetched
+        assert nodes[2] not in prefetched
+
+    def test_recursive_hint_chases_to_depth(self):
+        table = HintTable()
+        table.mark("pc1", recursive=True)
+        grp = GRPPrefetcher(hint_table=table)
+        hier, space, config = make_hier(grp, recursive_depth=3)
+        nodes = self.build_chain(space, 8)
+        hier.access(nodes[0], now=0, ref_id="pc1")
+        drain(hier, 10_000_000)
+        resident = set(hier.l2.resident_blocks())
+        assert nodes[1] in resident
+        assert nodes[2] in resident
+        assert nodes[3] in resident
+        assert nodes[4] not in resident  # counter exhausted
+
+    def test_two_blocks_per_pointer(self):
+        table = HintTable()
+        table.mark("pc1", pointer=True)
+        grp = GRPPrefetcher(hint_table=table)
+        hier, space, config = make_hier(grp)
+        nodes = self.build_chain(space, 2)
+        hier.access(nodes[0], now=0, ref_id="pc1")
+        drain(hier, 1_000_000)
+        resident = set(hier.l2.resident_blocks())
+        assert nodes[1] in resident
+        assert nodes[1] + config.block_size in resident
+
+
+class TestGRPVariableRegions:
+    def run_with_bound(self, bound, coeff, variable=True):
+        table = HintTable()
+        table.mark("pc1", spatial=True, region_coeff=coeff)
+        grp = GRPPrefetcher(hint_table=table, variable_regions=variable)
+        hier, space, config = make_hier(grp)
+        addr = space.malloc(8192, align=4096)
+        if bound is not None:
+            hier.directive(LoopBound(bound), now=0)
+        hier.access(addr, now=1, ref_id="pc1")
+        return grp, hier, config
+
+    def test_region_size_is_bound_shifted(self):
+        grp, hier, config = self.run_with_bound(bound=4, coeff=5)
+        # 4 << 5 = 128 bytes = 2 blocks.
+        assert grp.grp_stats.region_size_histogram == {2: 1}
+
+    def test_clamped_to_fixed_region(self):
+        grp, hier, config = self.run_with_bound(bound=1 << 20, coeff=6)
+        blocks = config.region_size // config.block_size
+        assert grp.grp_stats.region_size_histogram == {blocks: 1}
+
+    def test_coeff7_means_fixed(self):
+        grp, hier, config = self.run_with_bound(bound=4, coeff=7)
+        blocks = config.region_size // config.block_size
+        assert grp.grp_stats.region_size_histogram == {blocks: 1}
+
+    def test_no_bound_falls_back_to_fixed(self):
+        grp, hier, config = self.run_with_bound(bound=None, coeff=5)
+        blocks = config.region_size // config.block_size
+        assert grp.grp_stats.region_size_histogram == {blocks: 1}
+
+    def test_variable_disabled_ignores_coeff(self):
+        grp, hier, config = self.run_with_bound(bound=4, coeff=5,
+                                                variable=False)
+        blocks = config.region_size // config.block_size
+        assert grp.grp_stats.region_size_histogram == {blocks: 1}
+
+
+class TestGRPIndirect:
+    def test_indirect_expands_index_block(self):
+        grp = GRPPrefetcher(hint_table=HintTable())
+        hier, space, config = make_hier(grp)
+        base = space.malloc(1 << 16, align=4096)
+        idx_block = space.malloc(64, align=64)
+        indices = [3, 70, 200, 511]
+        for k, v in enumerate(indices):
+            space.store_word(idx_block + 4 * k, v, size=4)
+        hier.directive(
+            IndirectPrefetch(base_addr=base, elem_size=8,
+                             index_addr=idx_block),
+            now=0,
+        )
+        drain(hier, 1_000_000)
+        resident = set(hier.l2.resident_blocks())
+        for v in indices:
+            target = (base + v * 8) & ~(config.block_size - 1)
+            assert target in resident
+        assert grp.grp_stats.indirect_instructions == 1
+
+
+class TestPointerPrefetcher:
+    def test_scans_every_demand_fill(self):
+        ptr = PointerPrefetcher()
+        hier, space, config = make_hier(ptr)
+        target = space.malloc(64, align=4096)
+        line = space.malloc(64, align=4096)
+        space.store_word(line + 8, target)
+        hier.access(line, now=0)
+        drain(hier, 1_000_000)
+        assert target in set(hier.l2.resident_blocks())
+
+    def test_non_recursive_stops_after_one_level(self):
+        ptr = PointerPrefetcher()
+        hier, space, config = make_hier(ptr)
+        a = space.malloc(64, align=4096)
+        b = space.malloc(64, align=4096)
+        c = space.malloc(64, align=4096)
+        space.store_word(a, b)
+        space.store_word(b, c)
+        hier.access(a, now=0)
+        drain(hier, 1_000_000)
+        resident = set(hier.l2.resident_blocks())
+        assert b in resident
+        assert c not in resident
+
+    def test_recursive_variant_chases(self):
+        ptr = RecursivePointerPrefetcher()
+        # Larger L2 so the 4096-aligned chain nodes don't all collide in
+        # one 4-way set and evict each other's prefetches.
+        hier, space, config = make_hier(ptr, recursive_depth=6,
+                                        l2_size=64 * 1024)
+        nodes = [space.malloc(64, align=4096) for _ in range(8)]
+        for x, y in zip(nodes, nodes[1:]):
+            space.store_word(x, y)
+        hier.access(nodes[0], now=0)
+        drain(hier, 10_000_000)
+        resident = set(hier.l2.resident_blocks())
+        for node in nodes[1:7]:
+            assert node in resident
+
+
+class TestStrideTable:
+    def test_needs_confidence_to_predict(self):
+        table = StrideTable(confident=2)
+        table.train("pc", 0)
+        assert table.predict("pc") is None
+        table.train("pc", 64)
+        assert table.predict("pc") is None  # stride learned, conf 0
+        table.train("pc", 128)
+        table.train("pc", 192)
+        assert table.predict("pc") == 64
+
+    def test_noise_degrades_confidence(self):
+        table = StrideTable(confident=2)
+        for addr in (0, 64, 128, 192):
+            table.train("pc", addr)
+        assert table.predict("pc") == 64
+        table.train("pc", 5000)
+        table.train("pc", 9999)
+        assert table.predict("pc") is None
+
+    def test_capacity_evicts_lru_way(self):
+        table = StrideTable(entries=8, assoc=2)
+        # Overfill one set; oldest PC forgotten.
+        pcs = ["p%d" % k for k in range(20)]
+        for pc in pcs:
+            table.train(pc, 0)
+        known = sum(
+            1 for pc in pcs
+            if any(key == pc for ways in table._sets for key, _ in ways)
+        )
+        assert known <= 8
+
+
+class TestStridePrefetcher:
+    def run_stream(self, n_misses, stride=64):
+        eng = StridePrefetcher()
+        hier, space, config = make_hier(eng)
+        base = space.malloc(1 << 20, align=4096)
+        now = 0
+        for k in range(n_misses):
+            hier.access(base + k * stride, now=now, ref_id="pc")
+            now += 10_000
+        return eng, hier
+
+    def test_allocates_after_confidence(self):
+        eng, hier = self.run_stream(6)
+        assert eng.allocations >= 1
+
+    def test_covers_stream_after_rampup(self):
+        eng, hier = self.run_stream(30)
+        assert eng.private_useful > 10
+
+    def test_prefetch_traffic_accounted(self):
+        eng, hier = self.run_stream(30)
+        assert hier.dram.stats.prefetch_blocks > 0
+
+    def test_stream_data_not_installed_in_l2_unprobed(self):
+        """Stream-buffer fills live in the buffers, not the L2."""
+        eng, hier = self.run_stream(8)
+        assert hier.l2.stats.prefetch_fills == 0

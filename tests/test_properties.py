@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: cache capacity/LRU behaviour, region-queue bit accounting,
+allocator non-overlap, MSHR bounds, affine arithmetic, and DRAM timing
+monotonicity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir import Affine
+from repro.compiler.symbols import Var
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAMConfig, DRAMSystem
+from repro.mem.layout import block_base, region_base
+from repro.mem.mshr import MSHRFile
+from repro.mem.space import AddressSpace
+from repro.prefetch.regionqueue import RegionQueue
+
+addresses = st.integers(min_value=0, max_value=(1 << 30) - 1)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.tuples(addresses, st.booleans()), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, ops):
+        cache = Cache("c", 2048, 4, 64, 1)
+        for addr, prefetched in ops:
+            cache.fill(addr, prefetched=prefetched)
+        assert len(cache) <= 2048 // 64
+        for lines in cache._sets:
+            assert len(lines) <= 4
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_fill_then_access_hits(self, addrs):
+        cache = Cache("c", 4096, 4, 64, 1)
+        addr = addrs[-1]
+        cache.fill(addr)
+        # Nothing else filled: the block must be resident.
+        assert cache.contains(addr)
+
+    @given(st.lists(st.tuples(addresses, st.sampled_from(["access", "fill",
+                                                          "prefetch"])),
+                    max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplicate_blocks_in_set(self, ops):
+        cache = Cache("c", 2048, 4, 64, 1)
+        for addr, op in ops:
+            if op == "access":
+                cache.access(addr)
+            elif op == "fill":
+                cache.fill(addr)
+            else:
+                cache.fill(addr, prefetched=True)
+        blocks = list(cache.resident_blocks())
+        assert len(blocks) == len(set(blocks))
+
+    @given(st.lists(st.tuples(addresses, st.booleans(), st.booleans()),
+                    max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_stats_balance(self, ops):
+        cache = Cache("c", 2048, 4, 64, 1)
+        for addr, is_fill, prefetched in ops:
+            if is_fill:
+                cache.fill(addr, prefetched=prefetched)
+            else:
+                cache.access(addr)
+        stats = cache.stats
+        assert stats.demand_hits + stats.demand_misses == \
+            stats.demand_accesses
+        assert stats.useful_prefetches <= stats.prefetch_fills
+        assert stats.useless_evicted_prefetches <= stats.prefetch_fills
+
+
+class TestRegionQueueProperties:
+    @given(st.lists(addresses, min_size=1, max_size=64),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_issue_terminates_and_stays_in_region(self, misses, capacity):
+        queue = RegionQueue(capacity, 4096, 64)
+        for addr in misses:
+            queue.allocate_region(block_base(addr, 64), now=0)
+        bases = {region_base(a, 4096) for a in misses}
+        issued = 0
+        while True:
+            req = queue.pop_candidate(now=10)
+            if req is None:
+                break
+            issued += 1
+            assert region_base(req.block, 4096) in bases
+            assert issued <= capacity * 64
+        assert len(queue) == 0
+
+    @given(st.lists(addresses, min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_never_issues_missed_block(self, misses):
+        """The demand miss block itself is never a prefetch candidate
+        (unless a different miss re-set its region bit pattern)."""
+        queue = RegionQueue(32, 4096, 64)
+        addr = misses[0]
+        queue.allocate_region(block_base(addr, 64), now=0)
+        seen = set()
+        while True:
+            req = queue.pop_candidate(now=1)
+            if req is None:
+                break
+            seen.add(req.block)
+        assert block_base(addr, 64) not in seen
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=64, deadline=None)
+    def test_candidate_count_is_blocks_minus_one(self, index):
+        queue = RegionQueue(4, 4096, 64)
+        entry = queue.allocate_region(0x40000 + index * 64, now=0)
+        assert entry.candidate_count() == 63
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=4096),
+                    min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        space = AddressSpace()
+        spans = []
+        for size in sizes:
+            base = space.malloc(size)
+            spans.append((base, base + size))
+        spans.sort()
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    @given(st.lists(st.integers(min_value=1, max_value=4096),
+                    min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_heap_bounds_check_matches_allocations(self, sizes):
+        space = AddressSpace()
+        bases = [space.malloc(size) for size in sizes]
+        for base, size in zip(bases, sizes):
+            assert space.is_heap_address(base)
+            assert space.is_heap_address(base + size - 1)
+
+
+class TestMSHRProperties:
+    @given(st.lists(st.tuples(addresses,
+                              st.integers(min_value=1, max_value=500)),
+                    max_size=100),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_outstanding_never_exceeds_capacity(self, requests, entries):
+        mshrs = MSHRFile(entries)
+        now = 0
+        for addr, latency in requests:
+            block = block_base(addr, 64)
+            if mshrs.lookup(block, now) is None:
+                start = max(now, mshrs.earliest_free(now))
+                mshrs.allocate(block, start + latency, start)
+                assert mshrs.outstanding(start) <= entries
+            now += 7
+
+
+class TestAffineProperties:
+    @given(st.dictionaries(st.sampled_from("ijkl"),
+                           st.integers(min_value=-8, max_value=8),
+                           max_size=4),
+           st.integers(min_value=-100, max_value=100),
+           st.dictionaries(st.sampled_from("ijkl"),
+                           st.integers(min_value=0, max_value=50),
+                           min_size=4, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_evaluate_matches_manual_sum(self, coefs, const, env):
+        affine = Affine({Var(n): c for n, c in coefs.items()}, const)
+        expected = const + sum(c * env[n] for n, c in coefs.items())
+        assert affine.evaluate(env) == expected
+
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=0, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_addition_distributes(self, c1, c2, value):
+        i = Var("i")
+        a = Affine.of(i, coef=c1)
+        b = Affine.of(i, coef=c2)
+        env = {"i": value}
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+
+class TestDRAMProperties:
+    @given(st.lists(st.tuples(addresses,
+                              st.integers(min_value=0, max_value=50)),
+                    max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_completion_after_request(self, reqs):
+        dram = DRAMSystem(DRAMConfig())
+        now = 0
+        for addr, gap in reqs:
+            now += gap
+            ready = dram.access(block_base(addr, 64), now)
+            assert ready > now
+
+    @given(st.lists(addresses, min_size=2, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_same_channel_transfers_never_overlap(self, addrs):
+        dram = DRAMSystem(DRAMConfig(channels=1, transfer_cycles=10))
+        starts = []
+        for addr in addrs:
+            free_before = dram.channel_free_at(block_base(addr, 64))
+            dram.access(block_base(addr, 64), 0)
+            starts.append(free_before)
+        # channel_free times must be strictly increasing by >= transfer.
+        frees = [starts[k + 1] - starts[k] for k in range(len(starts) - 1)]
+        assert all(d >= 10 for d in frees)
+
+
+class TestTraceProperties:
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_trace_limit_exact(self, limit):
+        from repro.mem.space import AddressSpace
+        from repro.trace.events import MemRef
+        from repro.trace.interp import Interpreter
+        from repro.workloads import get_workload
+
+        space = AddressSpace()
+        built = get_workload("vpr").build(space)
+        interp = Interpreter(built.program, space)
+        refs = sum(
+            1 for e in interp.run(limit=limit) if isinstance(e, MemRef)
+        )
+        assert refs == limit

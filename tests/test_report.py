@@ -1,0 +1,160 @@
+"""Tests for the reporting subpackage and trace persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.report.bars import bar_chart, chart_from_result, grouped_bar_chart
+from repro.report.export import result_to_csv, results_to_json
+from repro.trace.events import IndirectPrefetch, LoopBound, MemRef, Ops
+from repro.trace.store import (
+    format_event,
+    load_trace,
+    parse_event,
+    save_trace,
+)
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_title_and_values_rendered(self):
+        text = bar_chart(["x"], [3.14159], title="T", fmt="%.2f")
+        assert text.startswith("T\n=")
+        assert "3.14" in text
+
+    def test_empty_chart(self):
+        assert bar_chart([], []) == ""
+
+
+class TestGroupedBarChart:
+    def test_groups_and_legend(self):
+        text = grouped_bar_chart(
+            ["swim", "mcf"],
+            {"srp": [1.0, 2.0], "grp": [1.5, 2.5]},
+        )
+        assert "legend:" in text
+        assert "#=srp" in text and "==grp" in text
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_chart_from_result(self):
+        result = ExperimentResult(
+            "Figure X", ["bench", "srp", "grp"],
+            [["swim", 1.0, 1.2], ["mcf", 2.0, 1.8]],
+        )
+        text = chart_from_result(result, {"srp": 1, "grp": 2})
+        assert text.startswith("Figure X")
+        assert "swim" in text and "mcf" in text
+
+
+class TestExport:
+    def make_result(self):
+        return ExperimentResult("T", ["bench", "v"], [["a", 1.5], ["b", 2]],
+                                notes="n")
+
+    def test_csv_roundtrip_shape(self):
+        text = result_to_csv(self.make_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "bench,v"
+        assert lines[1] == "a,1.5"
+
+    def test_json_structure(self):
+        payload = json.loads(results_to_json({"t": self.make_result()}))
+        assert payload["t"]["headers"] == ["bench", "v"]
+        assert payload["t"]["rows"] == [["a", 1.5], ["b", 2]]
+        assert payload["t"]["notes"] == "n"
+
+
+class TestTraceStore:
+    EVENTS = [
+        MemRef("p#r1", 0x1000, 8),
+        MemRef("p#r2", 0x2008, 4, is_store=True),
+        Ops(17),
+        LoopBound(64),
+        IndirectPrefetch(0x40000, 8, 0x5000),
+    ]
+
+    def test_event_roundtrip(self):
+        for event in self.EVENTS:
+            back = parse_event(format_event(event))
+            assert type(back) is type(event)
+            assert format_event(back) == format_event(event)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        count = save_trace(iter(self.EVENTS), path)
+        assert count == len(self.EVENTS)
+        loaded = list(load_trace(path))
+        assert [format_event(e) for e in loaded] == \
+            [format_event(e) for e in self.EVENTS]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\nL p 1000 8\n")
+        events = list(load_trace(path))
+        assert len(events) == 1
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_event("Z nonsense")
+
+    def test_replay_through_simulator(self, tmp_path):
+        """A saved trace replays to identical results."""
+        from repro.mem.space import AddressSpace
+        from repro.sim.config import MachineConfig
+        from repro.sim.simulator import Simulator
+        from repro.trace.interp import Interpreter
+        from repro.workloads import get_workload
+
+        space = AddressSpace()
+        built = get_workload("vpr").build(space)
+        interp = Interpreter(built.program, space)
+        path = tmp_path / "vpr.trace"
+        save_trace(interp.run(limit=2000), path)
+
+        config = MachineConfig.scaled()
+
+        def run(events, fresh_space):
+            sim = Simulator(config, fresh_space)
+            return sim.run(events, workload="vpr", scheme="none")
+
+        space2 = AddressSpace()
+        built2 = get_workload("vpr").build(space2)
+        interp2 = Interpreter(built2.program, space2)
+        live = run(interp2.run(limit=2000), space2)
+        replayed = run(load_trace(path), space2)
+        assert replayed.cycles == live.cycles
+        assert replayed.traffic_bytes == live.traffic_bytes
+
+
+class TestSimCLI:
+    def test_single_run(self, capsys):
+        from repro.sim.__main__ import main
+
+        main(["vpr", "grp", "--refs", "2000", "--baseline"])
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "speedup" in out
+
+    def test_experiments_cli_subset(self, capsys):
+        from repro.experiments.__main__ import main
+
+        main(["table3", "--refs", "1000"])
+        out = capsys.readouterr().out
+        assert "Table 3" in out

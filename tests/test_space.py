@@ -1,0 +1,149 @@
+"""Unit tests for the simulated address space."""
+
+import pytest
+
+from repro.mem.space import POINTER_SIZE, AddressSpace, OutOfMemoryError
+
+
+class TestMalloc:
+    def test_returns_heap_addresses(self):
+        space = AddressSpace()
+        addr = space.malloc(100)
+        assert space.heap.contains(addr)
+
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.malloc(100)
+        b = space.malloc(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        space = AddressSpace()
+        for align in (8, 16, 64, 4096):
+            addr = space.malloc(10, align=align)
+            assert addr % align == 0
+
+    def test_rejects_bad_sizes(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.malloc(0)
+        with pytest.raises(ValueError):
+            space.malloc(-5)
+
+    def test_rejects_non_power_alignment(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.malloc(8, align=24)
+
+    def test_heap_exhaustion(self):
+        space = AddressSpace(heap_size=1024)
+        space.malloc(512)
+        with pytest.raises(OutOfMemoryError):
+            space.malloc(1024)
+
+    def test_heap_used_tracks_brk(self):
+        space = AddressSpace()
+        before = space.heap_used
+        space.malloc(256, align=8)
+        assert space.heap_used >= before + 256
+
+
+class TestStaticAlloc:
+    def test_static_addresses_are_not_heap(self):
+        space = AddressSpace()
+        addr = space.static_alloc(64)
+        assert space.static.contains(addr)
+        assert not space.is_heap_address(addr)
+
+
+class TestHeapBoundsCheck:
+    def test_allocated_heap_passes(self):
+        space = AddressSpace()
+        addr = space.malloc(64)
+        assert space.is_heap_address(addr)
+        assert space.is_heap_address(addr + 63)
+
+    def test_beyond_brk_fails(self):
+        space = AddressSpace()
+        space.malloc(64)
+        # Far beyond the current break: garbage values must not pass.
+        assert not space.is_heap_address(space.heap.start + (1 << 29))
+
+    def test_non_heap_values_fail(self):
+        space = AddressSpace()
+        space.malloc(64)
+        assert not space.is_heap_address(0)
+        assert not space.is_heap_address(42)
+        assert not space.is_heap_address(space.stack.start)
+
+
+class TestWordStore:
+    def test_roundtrip(self):
+        space = AddressSpace()
+        addr = space.malloc(64)
+        space.store_word(addr, 0xDEADBEEF)
+        assert space.load_word(addr) == 0xDEADBEEF
+
+    def test_missing_word_is_none(self):
+        space = AddressSpace()
+        assert space.load_word(space.heap.start) is None
+
+    def test_unaligned_store_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.store_word(space.heap.start + 4, 1, size=8)
+
+
+class TestPointerScan:
+    def test_finds_heap_pointers_in_block(self):
+        space = AddressSpace()
+        target = space.malloc(64)
+        block = space.malloc(64, align=64)
+        space.store_word(block + 16, target)
+        found = space.scan_pointers(block, 64)
+        assert found == [target]
+
+    def test_ignores_non_heap_values(self):
+        space = AddressSpace()
+        block = space.malloc(64, align=64)
+        space.store_word(block, 12345)  # not a heap address
+        assert space.scan_pointers(block, 64) == []
+
+    def test_ignores_small_sized_words(self):
+        space = AddressSpace()
+        target = space.malloc(64)
+        block = space.malloc(64, align=64)
+        space.store_word(block, target & 0xFFFFFFFF, size=4)
+        assert space.scan_pointers(block, 64) == []
+
+    def test_deduplicates_targets(self):
+        space = AddressSpace()
+        target = space.malloc(64)
+        block = space.malloc(64, align=64)
+        space.store_word(block, target)
+        space.store_word(block + 8, target)
+        assert space.scan_pointers(block, 64) == [target]
+
+    def test_scans_all_eight_slots(self):
+        space = AddressSpace()
+        targets = [space.malloc(16) for _ in range(8)]
+        block = space.malloc(64, align=64)
+        for k, tgt in enumerate(targets):
+            space.store_word(block + 8 * k, tgt)
+        assert space.scan_pointers(block, 64) == targets
+
+
+class TestIndexBlock:
+    def test_reads_4byte_indices(self):
+        space = AddressSpace()
+        block = space.malloc(64, align=64)
+        values = [7, 100, 3, 9]
+        for k, v in enumerate(values):
+            space.store_word(block + 4 * k, v, size=4)
+        assert space.read_index_block(block, 64) == values
+
+    def test_skips_unwritten_slots(self):
+        space = AddressSpace()
+        block = space.malloc(64, align=64)
+        space.store_word(block + 8, 55, size=4)
+        assert space.read_index_block(block, 64) == [55]

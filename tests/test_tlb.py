@@ -1,0 +1,65 @@
+"""Tests for the (optional) data TLB."""
+
+import pytest
+
+from repro.mem.hierarchy import Hierarchy
+from repro.mem.space import AddressSpace
+from repro.mem.tlb import TLB
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_workload
+
+
+class TestTLBUnit:
+    def test_first_touch_misses_then_hits(self):
+        tlb = TLB(entries=8, assoc=4, page_size=4096, miss_latency=25)
+        assert tlb.lookup(0x1000) == 25
+        assert tlb.lookup(0x1FF8) == 0  # same page
+        assert tlb.lookup(0x2000) == 25  # next page
+
+    def test_lru_within_set(self):
+        tlb = TLB(entries=2, assoc=2, page_size=4096, miss_latency=10)
+        tlb.lookup(0x0000)
+        tlb.lookup(0x1000)
+        tlb.lookup(0x0000)  # refresh page 0
+        tlb.lookup(0x2000)  # evicts page 1 (LRU)
+        assert tlb.lookup(0x0000) == 0
+        assert tlb.lookup(0x1000) == 10
+
+    def test_miss_rate(self):
+        tlb = TLB(entries=8, assoc=4, page_size=4096)
+        tlb.lookup(0x0)
+        tlb.lookup(0x8)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TLB(entries=7, assoc=4)
+        with pytest.raises(ValueError):
+            TLB(page_size=3000)
+
+
+class TestTLBInHierarchy:
+    def test_disabled_by_default(self):
+        config = MachineConfig.scaled()
+        hier = Hierarchy(config, AddressSpace())
+        assert hier.tlb is None
+
+    def test_enabled_adds_walk_latency(self):
+        config = MachineConfig.tiny(tlb_entries=8, tlb_miss_latency=40)
+        space = AddressSpace()
+        hier = Hierarchy(config, space)
+        addr = space.malloc(64)
+        hier.access(addr, now=0)  # cold: TLB miss + cache miss
+        assert hier.tlb.misses == 1
+        # A warm access to the same page and block is only the walk-free
+        # L1 hit.
+        t = hier.access(addr, now=10_000)
+        assert t == 10_000 + config.l1_latency
+
+    def test_end_to_end_with_tlb(self):
+        config = MachineConfig.scaled(tlb_entries=32)
+        with_tlb = run_workload("twolf", "none", config=config,
+                                limit_refs=5000)
+        without = run_workload("twolf", "none", limit_refs=5000)
+        # Page walks only ever add cycles.
+        assert with_tlb.cycles >= without.cycles
