@@ -4,12 +4,22 @@ Every bench regenerates one of the paper's tables or figures.  They share
 one :class:`ExperimentContext`, so each (benchmark, scheme) simulation
 runs exactly once per session no matter how many tables slice it.
 
+The context shares the same persistent result cache as
+``python -m repro.experiments``, so tables regenerate from disk instead
+of re-simulating when the specs match.
+
 Environment knobs:
 
 ``REPRO_BENCH_REFS``
     Memory references simulated per run (default 40000).  Larger values
     sharpen the numbers at proportional cost; the EXPERIMENTS.md results
     were recorded at 60000.
+``REPRO_BENCH_JOBS``
+    Parallel simulation processes (default 1; 0 = all cores).
+``REPRO_CACHE_DIR``
+    Result cache directory (default ``.repro-cache``).
+``REPRO_BENCH_NO_CACHE``
+    Set to disable the persistent cache entirely.
 """
 
 import os
@@ -18,6 +28,7 @@ import pathlib
 import pytest
 
 from repro.experiments.common import ExperimentContext
+from repro.sim.cache import ResultCache
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -25,7 +36,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def ctx():
     limit = int(os.environ.get("REPRO_BENCH_REFS", "40000"))
-    return ExperimentContext(limit_refs=limit)
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = (None if os.environ.get("REPRO_BENCH_NO_CACHE")
+             else ResultCache())
+    return ExperimentContext(limit_refs=limit, jobs=jobs, cache=cache)
 
 
 @pytest.fixture(scope="session")

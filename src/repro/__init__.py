@@ -2,8 +2,11 @@
 
 Public API highlights:
 
-* :func:`repro.sim.runner.run_workload` — run any benchmark under any
-  prefetching scheme and get back the run statistics.
+* :class:`repro.sim.spec.RunSpec` / :func:`repro.sim.runner.execute` —
+  describe any (benchmark, scheme) run as frozen data and execute it.
+* :func:`repro.sim.runner.run_workload` — one-call convenience shim.
+* :func:`repro.sim.batch.run_batch` — fan RunSpecs across cores.
+* :class:`repro.sim.cache.ResultCache` — persistent result cache.
 * :class:`repro.sim.config.MachineConfig` — the simulated machine.
 * :mod:`repro.compiler` — the hint-generating mini-compiler.
 * :mod:`repro.prefetch` — GRP and every baseline engine.
@@ -11,9 +14,16 @@ Public API highlights:
 * :mod:`repro.experiments` — regenerate every table and figure.
 """
 
+from repro.sim.batch import run_batch
+from repro.sim.cache import ResultCache
 from repro.sim.config import MachineConfig
-from repro.sim.runner import SCHEMES, run_workload
+from repro.sim.runner import SCHEMES, execute, run_workload
+from repro.sim.spec import RunSpec
+from repro.sim.stats import RunResult, SimStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["MachineConfig", "SCHEMES", "run_workload", "__version__"]
+__all__ = [
+    "MachineConfig", "ResultCache", "RunResult", "RunSpec", "SCHEMES",
+    "SimStats", "execute", "run_batch", "run_workload", "__version__",
+]

@@ -3,8 +3,15 @@
 Usage::
 
     python -m repro.experiments                  # everything, default size
+    python -m repro.experiments --jobs 8         # fan runs across 8 cores
+    python -m repro.experiments --jobs 0         # all cores
     python -m repro.experiments --refs 60000     # longer traces
     python -m repro.experiments table1 fig12     # a subset
+    python -m repro.experiments --no-cache       # ignore the result cache
+
+Results persist in a content-keyed cache (``.repro-cache`` by default;
+``--cache-dir`` or ``$REPRO_CACHE_DIR`` override it), so a second
+invocation reproduces the same tables without re-simulating.
 """
 
 import argparse
@@ -24,6 +31,7 @@ from repro.experiments import (
     table6,
 )
 from repro.experiments.common import ExperimentContext
+from repro.sim.cache import ResultCache
 
 RUNNERS = {
     "fig1": lambda ctx: [fig1.run(ctx)],
@@ -39,22 +47,57 @@ RUNNERS = {
                                 sensitivity.run_per_benchmark(ctx)],
 }
 
+#: Experiments that consume simulation runs (table3 only runs the
+#: compiler); selecting any of these warms the full matrix up-front.
+SIM_RUNNERS = frozenset(RUNNERS) - {"table3"}
+
+
+def _progress(done, total, spec, cached):
+    sys.stderr.write(
+        "[%3d/%3d] %s%s\n"
+        % (done, total, spec.label(), " (cached)" if cached else "")
+    )
+
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the GRP paper's tables and figures.",
     )
-    parser.add_argument("experiments", nargs="*",
-                        choices=[[], *RUNNERS][1:] or None,
-                        help="subset to run (default: all)")
+    parser.add_argument("experiments", nargs="*", metavar="experiment",
+                        help="subset to run (default: all; choose from %s)"
+                             % ", ".join(RUNNERS))
     parser.add_argument("--refs", type=int, default=40_000,
                         help="memory references per run (default 40000)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="parallel simulation processes "
+                             "(1 = serial, 0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the persistent "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default "
+                             ".repro-cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
     args = parser.parse_args(argv)
 
+    unknown = [n for n in args.experiments if n not in RUNNERS]
+    if unknown:
+        parser.error("unknown experiment(s): %s (choose from %s)"
+                     % (", ".join(unknown), ", ".join(RUNNERS)))
     names = args.experiments or list(RUNNERS)
-    ctx = ExperimentContext(limit_refs=args.refs)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    ctx = ExperimentContext(limit_refs=args.refs, jobs=args.jobs,
+                            cache=cache)
     start = time.time()
+    sims_selected = any(name in SIM_RUNNERS for name in names)
+    if sims_selected and (args.jobs != 1 or SIM_RUNNERS <= set(names)):
+        # Declare the whole matrix up-front so the batch runner can fan
+        # it across cores; the tables below then only read memoized runs.
+        # A serial subset invocation skips this and simulates lazily,
+        # running only the cells that subset actually consumes.
+        ctx.prefetch_all(progress=None if args.quiet else _progress)
     for name in names:
         for result in RUNNERS[name](ctx):
             print(result.render())

@@ -4,10 +4,18 @@
 tables slice the same (benchmark x scheme) matrix many ways: Table 1's
 geomeans, Figures 10-12's per-benchmark bars, and Table 5's
 coverage/accuracy columns all come from one set of runs.
+
+The context is built on the RunSpec → engine → RunResult pipeline: every
+cell of the matrix is a frozen :class:`~repro.sim.spec.RunSpec`,
+:meth:`ExperimentContext.matrix` declares the full standard matrix
+up-front, and :meth:`ExperimentContext.prefetch_all` resolves it through
+the parallel batch runner and the persistent result cache.
 """
 
+from repro.sim.batch import run_batch
 from repro.sim.config import MachineConfig
-from repro.sim.runner import run_workload
+from repro.sim.runner import execute
+from repro.sim.spec import RunSpec
 from repro.sim.stats import geometric_mean
 from repro.workloads import get_workload, workload_names
 
@@ -37,40 +45,105 @@ C_BENCHMARKS = [
 ]
 
 
-class ExperimentContext:
-    """Configuration + memoized (benchmark, scheme, mode, policy) runs."""
+#: Compiler policies the sensitivity study sweeps (Section 5.4).
+POLICIES = ["conservative", "default", "aggressive"]
 
-    def __init__(self, config=None, limit_refs=None, scale=1.0, seed=12345):
+
+class ExperimentContext:
+    """Configuration + memoized (benchmark, scheme, mode, policy) runs.
+
+    ``jobs`` sets the batch runner's parallelism for
+    :meth:`prefetch`/:meth:`prefetch_all` (1 = serial, 0 = all cores).
+    ``cache`` is an optional :class:`~repro.sim.cache.ResultCache`; when
+    given, every run is looked up there first and written back after.
+    """
+
+    def __init__(self, config=None, limit_refs=None, scale=1.0, seed=12345,
+                 jobs=1, cache=None):
         self.config = config or MachineConfig.scaled()
         self.limit_refs = limit_refs
         self.scale = scale
         self.seed = seed
-        self._cache = {}
+        self.jobs = jobs
+        self.cache = cache
+        self._results = {}  # RunSpec -> SimStats
+
+    # ------------------------------------------------------------------
+    def spec(self, benchmark, scheme, mode="real", policy="default"):
+        """The RunSpec for one cell of this context's matrix."""
+        return RunSpec.create(
+            benchmark, scheme, config=self.config, mode=mode,
+            policy=policy, limit_refs=self.limit_refs, scale=self.scale,
+            seed=self.seed,
+        )
+
+    def matrix(self, benchmarks=None):
+        """Every RunSpec the standard tables and figures consume.
+
+        Covers: the no-prefetching baseline plus its perfect-L1/L2
+        variants (Figure 1, Table 1's gap column, Table 6), the four
+        suite-wide schemes (Tables 1, 4, 5; Figures 10-12), pointer
+        prefetching on the C codes (Figure 9), and the GRP policy sweep
+        (Section 5.4 sensitivity).
+        """
+        perf = benchmarks or PERF_BENCHMARKS
+        c_only = [b for b in perf if get_workload(b).language == "c"]
+        specs = []
+        for bench in perf:
+            specs.append(self.spec(bench, "none"))
+            specs.append(self.spec(bench, "none", mode="perfect_l2"))
+            specs.append(self.spec(bench, "none", mode="perfect_l1"))
+            for scheme in ("stride", "srp", "grp", "grp-fix"):
+                specs.append(self.spec(bench, scheme))
+            for scheme in ("pointer", "pointer-recursive"):
+                if bench in c_only:
+                    specs.append(self.spec(bench, scheme))
+            for policy in POLICIES:
+                specs.append(self.spec(bench, "grp", policy=policy))
+        return list(dict.fromkeys(specs))
+
+    def prefetch(self, specs, progress=None):
+        """Resolve RunSpecs through the batch runner + persistent cache."""
+        todo = [s for s in specs if s not in self._results]
+        results = run_batch(todo, jobs=self.jobs, cache=self.cache,
+                            progress=progress)
+        self._results.update(zip(todo, results))
+        return [self._results[s] for s in specs]
+
+    def prefetch_all(self, benchmarks=None, progress=None):
+        """Declare and resolve the full standard matrix up-front."""
+        return self.prefetch(self.matrix(benchmarks), progress=progress)
 
     def run(self, benchmark, scheme, mode="real", policy="default"):
         """Run (or fetch from cache) one simulation; returns SimStats."""
-        key = (benchmark, scheme, mode, policy)
-        if key not in self._cache:
-            self._cache[key] = run_workload(
-                benchmark, scheme,
-                config=self.config, mode=mode, policy=policy,
-                limit_refs=self.limit_refs, scale=self.scale,
-                seed=self.seed,
-            )
-        return self._cache[key]
+        spec = self.spec(benchmark, scheme, mode, policy)
+        if spec not in self._results:
+            stats = self.cache.get(spec) if self.cache is not None else None
+            if stats is None:
+                stats = execute(spec)
+                if self.cache is not None:
+                    self.cache.put(spec, stats)
+            self._results[spec] = stats
+        return self._results[spec]
 
+    # ------------------------------------------------------------------
     def speedup(self, benchmark, scheme, mode="real", policy="default"):
-        base = self.run(benchmark, "none")
+        # The caller's policy is threaded through to the baseline run;
+        # RunSpec.create canonicalizes it away for the unhinted "none"
+        # scheme (hints never influence an unhinted simulation), so every
+        # policy shares one baseline run and numerator/denominator stay
+        # symmetric by construction.
+        base = self.run(benchmark, "none", policy=policy)
         return self.run(benchmark, scheme, mode, policy).speedup_over(base)
 
     def traffic_ratio(self, benchmark, scheme, mode="real",
                       policy="default"):
-        base = self.run(benchmark, "none")
+        base = self.run(benchmark, "none", policy=policy)
         stats = self.run(benchmark, scheme, mode, policy)
         return stats.traffic_ratio_over(base)
 
     def coverage(self, benchmark, scheme, policy="default"):
-        base = self.run(benchmark, "none")
+        base = self.run(benchmark, "none", policy=policy)
         return self.run(benchmark, scheme, policy=policy).coverage_over(base)
 
     def perfect_l2_gap(self, benchmark, scheme="none", policy="default"):

@@ -9,9 +9,11 @@ more conservative one (mark only innermost-loop reuse):
   concentrated in applu, art, equake, and apsi.
 """
 
-from repro.experiments.common import ExperimentResult, PERF_BENCHMARKS
-
-POLICIES = ["conservative", "default", "aggressive"]
+from repro.experiments.common import (
+    ExperimentResult,
+    PERF_BENCHMARKS,
+    POLICIES,
+)
 
 
 def run(ctx, benchmarks=None):

@@ -1,12 +1,22 @@
 """Reporting: render experiment results as ASCII bar charts (the shape
-of the paper's figures) and export them as CSV for external plotting."""
+of the paper's figures) and export them — both rendered tables and raw
+serialized RunResults — as CSV/JSON for external plotting."""
 
 from repro.report.bars import bar_chart, grouped_bar_chart
-from repro.report.export import result_to_csv, results_to_json
+from repro.report.export import (
+    result_to_csv,
+    results_to_json,
+    runs_from_json,
+    runs_to_csv,
+    runs_to_json,
+)
 
 __all__ = [
     "bar_chart",
     "grouped_bar_chart",
     "result_to_csv",
     "results_to_json",
+    "runs_from_json",
+    "runs_to_csv",
+    "runs_to_json",
 ]

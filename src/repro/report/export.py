@@ -1,8 +1,19 @@
-"""Machine-readable exports of experiment results."""
+"""Machine-readable exports of experiment results.
+
+Two layers are exportable:
+
+* rendered :class:`~repro.experiments.common.ExperimentResult` tables
+  (:func:`result_to_csv`, :func:`results_to_json`), and
+* raw serialized RunResults — the ``SimStats.to_dict`` form the batch
+  runner and persistent cache move around (:func:`runs_to_json`,
+  :func:`runs_from_json`, :func:`runs_to_csv`).
+"""
 
 import csv
 import io
 import json
+
+from repro.sim.stats import SimStats
 
 
 def result_to_csv(result):
@@ -26,3 +37,33 @@ def results_to_json(results):
             "notes": result.notes,
         }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def runs_to_json(runs):
+    """Serialize an iterable of SimStats (RunResults) as JSON text.
+
+    The payload is a list of ``SimStats.to_dict`` dicts — the same
+    loss-free form the result cache stores — so it can be re-hydrated
+    with :func:`runs_from_json` in another process or much later.
+    """
+    return json.dumps([stats.to_dict() for stats in runs],
+                      indent=2, sort_keys=True)
+
+
+def runs_from_json(text):
+    """Inverse of :func:`runs_to_json`: JSON text -> list of SimStats."""
+    return [SimStats.from_dict(entry) for entry in json.loads(text)]
+
+
+def runs_to_csv(runs):
+    """Flat CSV of per-run summary metrics (one row per RunResult)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    rows = [stats.summary() for stats in runs]
+    if not rows:
+        return out.getvalue()
+    headers = list(rows[0])
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([row[h] for h in headers])
+    return out.getvalue()

@@ -1,8 +1,24 @@
-"""Simulation harness: machine configuration, statistics, and the runner."""
+"""Simulation harness: the RunSpec → engine → RunResult pipeline.
 
+* :class:`~repro.sim.spec.RunSpec` — frozen, hashable description of one
+  run (workload, scheme, mode, policy, config, scale, seed, limit_refs).
+* :func:`~repro.sim.runner.execute` — the engine: RunSpec in, RunResult
+  (:class:`~repro.sim.stats.SimStats`) out.
+* :func:`~repro.sim.batch.run_batch` — fan a list of RunSpecs across
+  cores with deterministic result ordering.
+* :class:`~repro.sim.cache.ResultCache` — persistent, content-keyed JSON
+  cache of results.
+"""
+
+from repro.sim.batch import run_batch
+from repro.sim.cache import ResultCache
 from repro.sim.config import MachineConfig
-from repro.sim.stats import SimStats
+from repro.sim.runner import SCHEMES, execute, run_workload
 from repro.sim.simulator import Simulator
-from repro.sim.runner import SCHEMES, run_workload
+from repro.sim.spec import RunSpec
+from repro.sim.stats import RunResult, SimStats
 
-__all__ = ["MachineConfig", "SCHEMES", "SimStats", "Simulator", "run_workload"]
+__all__ = [
+    "MachineConfig", "ResultCache", "RunResult", "RunSpec", "SCHEMES",
+    "SimStats", "Simulator", "execute", "run_batch", "run_workload",
+]

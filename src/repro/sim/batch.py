@@ -1,0 +1,90 @@
+"""Parallel batch execution of RunSpecs.
+
+:func:`run_batch` takes a list of :class:`~repro.sim.spec.RunSpec` and
+returns their :class:`~repro.sim.stats.SimStats` **in the same order**,
+regardless of how many worker processes ran them or which finished first
+— parallelism never changes results, only wall-clock.
+
+Duplicate specs in the input are simulated once.  With a
+:class:`~repro.sim.cache.ResultCache`, hits skip simulation entirely and
+fresh results are written back.  Specs and results cross the process
+boundary in their ``to_dict`` forms, the same serialization the
+persistent cache uses, so a parallel run exercises exactly the round-trip
+the cache depends on.
+"""
+
+import multiprocessing
+import os
+
+from repro.sim.spec import RunSpec
+from repro.sim.stats import SimStats
+
+
+def resolve_jobs(jobs):
+    """Map a ``--jobs`` value to a worker count (0 or None = all cores)."""
+    if not jobs:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _worker(spec_data):
+    """Pool worker: dict in, dict out (runs in a separate process)."""
+    from repro.sim.runner import execute  # late: keep fork/spawn cheap
+    return execute(RunSpec.from_dict(spec_data)).to_dict()
+
+
+def run_batch(specs, jobs=1, cache=None, progress=None):
+    """Execute every spec; return results aligned with the input order.
+
+    ``jobs``: worker processes (1 = in-process serial; 0/None = all
+    cores).  ``cache``: optional ResultCache consulted before and updated
+    after simulation.  ``progress``: optional callable invoked after each
+    spec resolves as ``progress(done, total, spec, cached)``.
+    """
+    from repro.sim.runner import execute
+
+    specs = list(specs)
+    uniques = list(dict.fromkeys(specs))
+    total = len(uniques)
+    resolved = {}  # spec -> SimStats
+    done = 0
+
+    def note(spec, cached):
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, spec, cached)
+
+    # Unique work list (stable order), minus persistent-cache hits.
+    pending = []
+    for spec in uniques:
+        stats = cache.get(spec) if cache is not None else None
+        if stats is not None:
+            resolved[spec] = stats
+            note(spec, True)
+        else:
+            pending.append(spec)
+
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(pending) <= 1:
+        for spec in pending:
+            stats = execute(spec)
+            if cache is not None:
+                cache.put(spec, stats)
+            resolved[spec] = stats
+            note(spec, False)
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(workers, len(pending))) as pool:
+            payloads = [spec.to_dict() for spec in pending]
+            # imap preserves input order, so completion timing cannot
+            # reorder results.
+            for spec, data in zip(pending,
+                                  pool.imap(_worker, payloads, chunksize=1)):
+                stats = SimStats.from_dict(data)
+                if cache is not None:
+                    cache.put(spec, stats)
+                resolved[spec] = stats
+                note(spec, False)
+
+    return [resolved[spec] for spec in specs]

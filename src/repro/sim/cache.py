@@ -1,0 +1,98 @@
+"""Persistent, content-keyed cache of simulation results.
+
+Each entry is one JSON file named by the RunSpec's content digest salted
+with the package version, so a cached result is returned only for an
+*identical* spec under an *identical* simulator version — bumping
+``repro.__version__`` invalidates every entry at once.
+
+The default cache directory is ``.repro-cache`` under the current working
+directory; override it with the ``cache_dir`` argument or the
+``REPRO_CACHE_DIR`` environment variable.  Entries are written atomically
+(temp file + rename), and unreadable or corrupt entries behave as misses.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.sim.stats import SimStats
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _version_salt():
+    import repro  # late: repro's package init imports repro.sim
+    return "repro-%s" % repro.__version__
+
+
+class ResultCache:
+    """Disk-backed {RunSpec digest: SimStats} mapping."""
+
+    def __init__(self, cache_dir=None):
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.cache_dir = pathlib.Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec):
+        """The entry file a spec maps to (may not exist)."""
+        return self.cache_dir / ("%s.json" % spec.digest(_version_salt()))
+
+    def get(self, spec):
+        """Return the cached SimStats for ``spec``, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            stats = SimStats.from_dict(payload["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, spec, stats):
+        """Store one result.  Atomic: readers never see partial entries."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _version_salt(),
+            "spec": spec.to_dict(),
+            "stats": stats.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.cache_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path_for(spec))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self):
+        try:
+            return sum(1 for _ in self.cache_dir.glob("*.json"))
+        except OSError:
+            return 0
+
+    def clear(self):
+        """Delete every cache entry (the directory itself is kept)."""
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __repr__(self):
+        return "ResultCache(%r, %d entries, %d hits, %d misses)" % (
+            str(self.cache_dir), len(self), self.hits, self.misses,
+        )

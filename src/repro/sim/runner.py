@@ -1,8 +1,13 @@
-"""Scheme registry and the one-call experiment runner.
+"""Scheme registry and the simulation engine.
 
-``run_workload("swim", "grp")`` builds the workload in a fresh address
-space, compiles hints when the scheme uses them, generates the trace, and
-simulates it — returning the run's :class:`~repro.sim.stats.SimStats`.
+The engine entry point is :func:`execute`, which takes a frozen
+:class:`~repro.sim.spec.RunSpec` and returns the run's
+:class:`~repro.sim.stats.SimStats` (the pipeline's RunResult): it builds
+the workload in a fresh address space, compiles hints when the scheme
+uses them, generates the trace, and simulates it.
+
+``run_workload("swim", "grp")`` remains as a thin convenience shim that
+constructs the RunSpec and calls :func:`execute`.
 
 Schemes
 -------
@@ -25,6 +30,7 @@ from repro.prefetch.srp import SRPPrefetcher
 from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import MachineConfig
 from repro.sim.simulator import Simulator
+from repro.sim.spec import RunSpec
 from repro.trace.interp import Interpreter
 from repro.workloads.base import Workload, get_workload
 
@@ -71,40 +77,79 @@ SCHEMES = {
 }
 
 
+def execute(spec):
+    """Run the simulation a :class:`RunSpec` describes; return its RunResult.
+
+    This is the engine: RunSpec in, SimStats out.  Everything that
+    influences the outcome is read from the spec, so two calls with equal
+    specs produce identical results (the batch runner and the persistent
+    cache both rely on this).
+    """
+    workload = get_workload(spec.workload)
+    try:
+        scheme_spec = SCHEMES[spec.scheme]
+    except KeyError:
+        raise KeyError(
+            "unknown scheme %r (have: %s)" % (spec.scheme, ", ".join(SCHEMES))
+        )
+    return _simulate(workload, spec.scheme, scheme_spec,
+                     spec.machine_config(), spec.mode, spec.policy,
+                     spec.limit_refs, spec.scale, spec.seed)
+
+
 def run_workload(workload, scheme, config=None, mode="real", policy="default",
                  limit_refs=None, scale=1.0, seed=12345):
     """Run one (workload, scheme) simulation; return its SimStats.
 
-    ``workload`` may be a name or a :class:`Workload` instance.  ``mode``
-    selects perfect-cache variants (``real``/``perfect_l1``/``perfect_l2``).
-    ``policy`` is the compiler's spatial-marking policy (Section 5.4).
+    Thin shim over :func:`execute`.  ``workload`` may be a name or a
+    :class:`Workload` instance (instances bypass RunSpec, which only
+    carries registered names).  ``mode`` selects perfect-cache variants
+    (``real``/``perfect_l1``/``perfect_l2``).  ``policy`` is the
+    compiler's spatial-marking policy (Section 5.4).
     """
     if isinstance(workload, str):
-        workload = get_workload(workload)
+        return execute(RunSpec.create(
+            workload, scheme, config=config, mode=mode, policy=policy,
+            limit_refs=limit_refs, scale=scale, seed=seed,
+        ))
     if not isinstance(workload, Workload):
         raise TypeError("workload must be a name or Workload instance")
     try:
-        spec = SCHEMES[scheme]
+        scheme_spec = SCHEMES[scheme]
     except KeyError:
         raise KeyError(
             "unknown scheme %r (have: %s)" % (scheme, ", ".join(SCHEMES))
         )
-    config = config or MachineConfig.scaled()
+    return _simulate(workload, scheme, scheme_spec,
+                     config or MachineConfig.scaled(), mode, policy,
+                     limit_refs, scale, seed)
+
+
+def _simulate(workload, scheme, scheme_spec, config, mode, policy,
+              limit_refs, scale, seed):
     space = AddressSpace()
     built = workload.build(space, scale=scale)
     program = built.program.finalize()
 
-    result = compile_hints(
-        program,
-        l2_size=config.l2_size,
-        block_size=config.block_size,
-        policy=policy,
-        variable_regions=spec.variable_regions,
-        indirect_mode=spec.indirect_mode,
-    )
-    prefetcher = spec.factory(result)
-    hint_table = result.hint_table if spec.hinted else None
-    compile_for_trace = result if spec.hinted else None
+    # Only hinted schemes consume compiler output; skipping the compiler
+    # for none/stride/srp/pointer saves all its pass time on runs that
+    # would discard the result anyway.
+    if scheme_spec.hinted:
+        result = compile_hints(
+            program,
+            l2_size=config.l2_size,
+            block_size=config.block_size,
+            policy=policy,
+            variable_regions=scheme_spec.variable_regions,
+            indirect_mode=scheme_spec.indirect_mode,
+        )
+        hint_table = result.hint_table
+        compile_for_trace = result
+    else:
+        result = None
+        hint_table = None
+        compile_for_trace = None
+    prefetcher = scheme_spec.factory(result)
 
     interp = Interpreter(
         program, space, compile_for_trace, seed=seed,

@@ -1,0 +1,164 @@
+"""RunSpec: a frozen, hashable, serializable description of one run.
+
+A :class:`RunSpec` captures everything that determines a simulation's
+outcome — workload, scheme, mode, compiler policy, machine configuration,
+scale, seed, and trace length — as plain data.  Because it is immutable
+and hashable it serves as a dictionary key (the in-memory memo in
+:class:`~repro.experiments.common.ExperimentContext`), and because it
+round-trips through :meth:`to_dict`/:meth:`from_dict` it crosses process
+boundaries (the :mod:`repro.sim.batch` worker pool) and disk boundaries
+(the :mod:`repro.sim.cache` persistent cache, which keys entries by
+:meth:`digest`).
+
+The machine configuration travels inside the spec as a canonical JSON
+string (``config_json``) so the spec itself stays hashable; use
+:meth:`machine_config` to rebuild the :class:`MachineConfig`.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.mem.dram import DRAMConfig
+from repro.sim.config import MachineConfig
+from repro.workloads.base import get_workload
+
+#: Every MachineConfig scalar parameter, in declaration order.  ``dram``
+#: is handled separately (it is itself a parameter object).
+MACHINE_FIELDS = (
+    "l1_size", "l1_assoc", "l1_latency",
+    "l2_size", "l2_assoc", "l2_latency",
+    "block_size", "mshr_entries", "region_size",
+    "prefetch_queue_size", "prefetch_queue_policy",
+    "recursive_depth", "pointer_blocks",
+    "issue_width", "window_size", "prefetch_insert",
+    "tlb_entries", "tlb_assoc", "tlb_page_size", "tlb_miss_latency",
+)
+
+DRAM_FIELDS = (
+    "channels", "banks_per_channel", "row_size",
+    "row_hit_latency", "row_miss_latency", "transfer_cycles",
+    "block_size",
+)
+
+
+def config_to_dict(config):
+    """Flatten a :class:`MachineConfig` (and its DRAMConfig) to plain data."""
+    out = {name: getattr(config, name) for name in MACHINE_FIELDS}
+    out["dram"] = {name: getattr(config.dram, name) for name in DRAM_FIELDS}
+    return out
+
+
+def config_from_dict(data):
+    """Rebuild a :class:`MachineConfig` from :func:`config_to_dict` output."""
+    params = dict(data)
+    dram = params.pop("dram", None)
+    if dram is not None:
+        params["dram"] = DRAMConfig(**dram)
+    return MachineConfig(**params)
+
+
+def _canonical_json(data):
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, scheme, mode, policy, config, …) simulation cell."""
+
+    workload: str
+    scheme: str
+    mode: str = "real"
+    policy: str = "default"
+    limit_refs: int = None
+    scale: float = 1.0
+    seed: int = 12345
+    config_json: str = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, workload, scheme, config=None, mode="real",
+               policy="default", limit_refs=None, scale=1.0, seed=12345):
+        """Validate arguments and build a canonical spec.
+
+        ``workload`` must be a registered workload name.  The compiler
+        ``policy`` only influences hinted schemes (the hint table is the
+        only compiler output a run consumes), so it is canonicalized to
+        ``"default"`` for unhinted schemes — all policies then share one
+        baseline run and one cache entry.
+        """
+        from repro.sim.runner import SCHEMES  # late: runner imports us
+
+        get_workload(workload)  # raises KeyError for unknown names
+        try:
+            scheme_spec = SCHEMES[scheme]
+        except KeyError:
+            raise KeyError(
+                "unknown scheme %r (have: %s)" % (scheme, ", ".join(SCHEMES))
+            )
+        if not scheme_spec.hinted:
+            policy = "default"
+        config = config or MachineConfig.scaled()
+        return cls(
+            workload=workload,
+            scheme=scheme,
+            mode=mode,
+            policy=policy,
+            limit_refs=limit_refs,
+            scale=scale,
+            seed=seed,
+            config_json=_canonical_json(config_to_dict(config)),
+        )
+
+    # ------------------------------------------------------------------
+    def machine_config(self):
+        """Rebuild the :class:`MachineConfig` this spec describes."""
+        if self.config_json is None:
+            return MachineConfig.scaled()
+        return config_from_dict(json.loads(self.config_json))
+
+    def to_dict(self):
+        """Plain-data form (config expanded to a nested dict)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "mode": self.mode,
+            "policy": self.policy,
+            "limit_refs": self.limit_refs,
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": (json.loads(self.config_json)
+                       if self.config_json is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        config = data.get("config")
+        return cls(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            mode=data.get("mode", "real"),
+            policy=data.get("policy", "default"),
+            limit_refs=data.get("limit_refs"),
+            scale=data.get("scale", 1.0),
+            seed=data.get("seed", 12345),
+            config_json=(_canonical_json(config)
+                         if config is not None else None),
+        )
+
+    def digest(self, salt=""):
+        """Content hash of the spec (plus an optional salt, e.g. a
+        package version) — the persistent cache's key."""
+        payload = _canonical_json(self.to_dict()) + salt
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self):
+        """Short human-readable name (progress lines, log messages)."""
+        parts = [self.workload, self.scheme]
+        if self.mode != "real":
+            parts.append(self.mode)
+        if self.policy != "default":
+            parts.append(self.policy)
+        return "/".join(parts)

@@ -12,8 +12,25 @@
 """
 
 
+#: Every serialized field of a run result, in stable order.  ``l1``,
+#: ``l2``, ``hier``, and ``prefetcher`` are plain-dict snapshots; the rest
+#: are scalars.
+RESULT_FIELDS = (
+    "workload", "scheme", "instructions", "cycles", "ipc",
+    "load_stall_cycles", "l1", "l2", "hier",
+    "dram_demand_blocks", "dram_prefetch_blocks", "dram_writeback_blocks",
+    "row_hit_rate", "traffic_bytes", "prefetch_accuracy", "prefetcher",
+)
+
+
 class SimStats:
-    """A bundle of results from one simulation run."""
+    """A bundle of results from one simulation run.
+
+    Also the pipeline's **RunResult**: :meth:`to_dict`/:meth:`from_dict`
+    round-trip it losslessly through JSON, so results cross process
+    boundaries (the batch worker pool) and disk boundaries (the
+    persistent result cache).
+    """
 
     def __init__(self, workload, scheme, core, hierarchy):
         self.workload = workload
@@ -37,6 +54,35 @@ class SimStats:
             if hierarchy.prefetcher is not None
             else {}
         )
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """Plain-data form: JSON-serializable, loss-free (see from_dict)."""
+        out = {}
+        for name in RESULT_FIELDS:
+            value = getattr(self, name)
+            out[name] = dict(value) if isinstance(value, dict) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a SimStats from :meth:`to_dict` output.
+
+        Accepts data that passed through JSON, which stringifies int dict
+        keys — the prefetcher's ``region_size_histogram`` (keyed by region
+        size in blocks) is restored to int keys here.
+        """
+        stats = object.__new__(cls)
+        for name in RESULT_FIELDS:
+            value = data[name]
+            setattr(stats, name, dict(value) if isinstance(value, dict)
+                    else value)
+        histogram = stats.prefetcher.get("region_size_histogram")
+        if histogram is not None:
+            stats.prefetcher["region_size_histogram"] = {
+                int(k): v for k, v in histogram.items()
+            }
+        return stats
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +137,11 @@ class SimStats:
             self.workload, self.scheme, self.ipc, self.l2_miss_rate,
             self.traffic_bytes,
         )
+
+
+#: The run pipeline's name for a run's outcome.  ``execute(spec)`` returns
+#: a RunResult; SimStats is the concrete type.
+RunResult = SimStats
 
 
 def geometric_mean(values):

@@ -1,0 +1,176 @@
+"""Tests for the RunSpec → engine → RunResult pipeline: batch runner
+determinism (parallel == serial), serialization round-trips, and the
+persistent result cache."""
+
+import json
+
+import pytest
+
+from repro.sim.batch import resolve_jobs, run_batch
+from repro.sim.cache import ResultCache
+from repro.sim.config import MachineConfig
+from repro.sim.runner import execute, run_workload
+from repro.sim.spec import RunSpec, config_from_dict, config_to_dict
+from repro.sim.stats import SimStats
+
+REFS = 2500
+
+SPECS = [
+    RunSpec.create("vpr", "none", limit_refs=REFS),
+    RunSpec.create("vpr", "grp", limit_refs=REFS),
+    RunSpec.create("swim", "stride", limit_refs=REFS),
+    RunSpec.create("mcf", "srp", limit_refs=REFS),
+    RunSpec.create("vpr", "none", mode="perfect_l2", limit_refs=REFS),
+]
+
+
+class TestRunSpec:
+    def test_frozen_and_hashable(self):
+        spec = RunSpec.create("vpr", "grp", limit_refs=REFS)
+        assert spec == RunSpec.create("vpr", "grp", limit_refs=REFS)
+        assert len({spec, RunSpec.create("vpr", "grp", limit_refs=REFS)}) == 1
+        with pytest.raises(AttributeError):
+            spec.workload = "swim"
+
+    def test_dict_round_trip(self):
+        for spec in SPECS:
+            assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        for spec in SPECS:
+            data = json.loads(json.dumps(spec.to_dict()))
+            assert RunSpec.from_dict(data) == spec
+
+    def test_digest_content_keyed(self):
+        a = RunSpec.create("vpr", "grp", limit_refs=REFS)
+        b = RunSpec.create("vpr", "grp", limit_refs=REFS)
+        assert a.digest() == b.digest()
+        assert a.digest("v1") != a.digest("v2")
+        assert a.digest() != RunSpec.create("vpr", "srp",
+                                            limit_refs=REFS).digest()
+
+    def test_config_distinguishes_specs(self):
+        small = RunSpec.create("vpr", "none",
+                               config=MachineConfig.scaled(l2_size=1 << 15))
+        big = RunSpec.create("vpr", "none",
+                             config=MachineConfig.scaled(l2_size=1 << 20))
+        assert small != big
+        assert small.digest() != big.digest()
+
+    def test_machine_config_round_trip(self):
+        config = MachineConfig.scaled(l1_assoc=4, mshr_entries=16)
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert config_to_dict(rebuilt) == config_to_dict(config)
+        spec = RunSpec.create("vpr", "none", config=config)
+        assert config_to_dict(spec.machine_config()) == \
+            config_to_dict(config)
+
+    def test_unhinted_policy_canonicalized(self):
+        # The compiler's policy only reaches hinted schemes; unhinted
+        # specs collapse onto policy="default" so the matrix and cache
+        # never duplicate a baseline run.
+        a = RunSpec.create("vpr", "none", policy="aggressive")
+        b = RunSpec.create("vpr", "none")
+        assert a == b
+        hinted = RunSpec.create("vpr", "grp", policy="aggressive")
+        assert hinted.policy == "aggressive"
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            RunSpec.create("nonesuch", "none")
+        with pytest.raises(KeyError):
+            RunSpec.create("vpr", "bogus")
+
+
+class TestResultSerialization:
+    def test_cache_round_trip_is_lossless(self):
+        # to_dict -> JSON -> from_dict must reproduce every field,
+        # including the int-keyed region-size histogram Table 4 reads.
+        stats = execute(RunSpec.create("vpr", "grp", limit_refs=REFS))
+        data = json.loads(json.dumps(stats.to_dict()))
+        rebuilt = SimStats.from_dict(data)
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.ipc == stats.ipc
+        assert rebuilt.l2_miss_rate == stats.l2_miss_rate
+        assert rebuilt.summary() == stats.summary()
+        histogram = rebuilt.prefetcher["region_size_histogram"]
+        assert all(isinstance(k, int) for k in histogram)
+
+    def test_derived_metrics_survive_round_trip(self):
+        base = execute(RunSpec.create("vpr", "none", limit_refs=REFS))
+        grp = execute(RunSpec.create("vpr", "grp", limit_refs=REFS))
+        rebuilt = SimStats.from_dict(json.loads(json.dumps(grp.to_dict())))
+        assert rebuilt.speedup_over(base) == grp.speedup_over(base)
+        assert rebuilt.traffic_ratio_over(base) == \
+            grp.traffic_ratio_over(base)
+
+
+class TestBatchDeterminism:
+    def test_parallel_equals_serial(self):
+        serial = run_batch(SPECS, jobs=1)
+        parallel = run_batch(SPECS, jobs=2)
+        assert [s.to_dict() for s in serial] == \
+            [p.to_dict() for p in parallel]
+
+    def test_batch_matches_direct_execution(self):
+        results = run_batch(SPECS, jobs=2)
+        for spec, stats in zip(SPECS, results):
+            assert stats.to_dict() == execute(spec).to_dict()
+
+    def test_duplicates_resolve_identically(self):
+        specs = [SPECS[0], SPECS[1], SPECS[0]]
+        results = run_batch(specs, jobs=1)
+        assert results[0].to_dict() == results[2].to_dict()
+
+    def test_result_order_follows_spec_order(self):
+        results = run_batch(SPECS, jobs=2)
+        for spec, stats in zip(SPECS, results):
+            assert stats.workload == spec.workload
+
+    def test_progress_callback(self):
+        seen = []
+        run_batch(SPECS[:3], jobs=1,
+                  progress=lambda d, t, s, c: seen.append((d, t, c)))
+        assert seen == [(1, 3, False), (2, 3, False), (3, 3, False)]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+
+class TestPersistentCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        assert cache.get(spec) is None
+        stats = execute(spec)
+        cache.put(spec, stats)
+        assert cache.get(spec).to_dict() == stats.to_dict()
+        assert len(cache) == 1
+
+    def test_batch_reuses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_batch(SPECS, jobs=1, cache=cache)
+        assert len(cache) == len(SPECS)
+        flags = []
+        second = run_batch(SPECS, jobs=1, cache=cache,
+                           progress=lambda d, t, s, c: flags.append(c))
+        assert all(flags), "second batch should be all cache hits"
+        assert [a.to_dict() for a in first] == \
+            [b.to_dict() for b in second]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        cache.put(spec, execute(spec))
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(SPECS[0], execute(SPECS[0]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(SPECS[0]) is None
