@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Guided Region Prefetching (GRP, ISCA 2003) reproduction: "
         "trace-driven memory hierarchy simulator, prefetch engines, and "

@@ -21,7 +21,7 @@ from repro.sim.runner import SCHEMES, execute, run_workload
 from repro.sim.spec import RunSpec
 from repro.sim.stats import RunResult, SimStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MachineConfig", "ResultCache", "RunResult", "RunSpec", "SCHEMES",

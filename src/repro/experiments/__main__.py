@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments --refs 60000     # longer traces
     python -m repro.experiments table1 fig12     # a subset
     python -m repro.experiments --no-cache       # ignore the result cache
+    python -m repro.experiments --metrics        # observability tables too
+    python -m repro.experiments metrics --trace traces/   # + JSONL traces
 
 Results persist in a content-keyed cache (``.repro-cache`` by default;
 ``--cache-dir`` or ``$REPRO_CACHE_DIR`` override it), so a second
@@ -23,6 +25,7 @@ from repro.experiments import (
     fig9,
     fig10_11,
     fig12,
+    metrics_summary,
     sensitivity,
     table1,
     table3,
@@ -45,6 +48,8 @@ RUNNERS = {
     "fig12": lambda ctx: [fig12.run(ctx)],
     "sensitivity": lambda ctx: [sensitivity.run(ctx),
                                 sensitivity.run_per_benchmark(ctx)],
+    "metrics": lambda ctx: [metrics_summary.run(ctx),
+                            metrics_summary.run_deltas(ctx)],
 }
 
 #: Experiments that consume simulation runs (table3 only runs the
@@ -80,6 +85,13 @@ def main(argv=None):
                              ".repro-cache or $REPRO_CACHE_DIR)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also print the observability tables "
+                             "(prefetch timeliness, pollution, DRAM "
+                             "channel utilization)")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="write per-run JSONL event traces into DIR "
+                             "(bypasses cache reads so traces appear)")
     args = parser.parse_args(argv)
 
     unknown = [n for n in args.experiments if n not in RUNNERS]
@@ -87,9 +99,11 @@ def main(argv=None):
         parser.error("unknown experiment(s): %s (choose from %s)"
                      % (", ".join(unknown), ", ".join(RUNNERS)))
     names = args.experiments or list(RUNNERS)
+    if args.metrics and "metrics" not in names:
+        names.append("metrics")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     ctx = ExperimentContext(limit_refs=args.refs, jobs=args.jobs,
-                            cache=cache)
+                            cache=cache, trace_dir=args.trace)
     start = time.time()
     sims_selected = any(name in SIM_RUNNERS for name in names)
     if sims_selected and (args.jobs != 1 or SIM_RUNNERS <= set(names)):

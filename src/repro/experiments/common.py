@@ -14,7 +14,6 @@ the parallel batch runner and the persistent result cache.
 
 from repro.sim.batch import run_batch
 from repro.sim.config import MachineConfig
-from repro.sim.runner import execute
 from repro.sim.spec import RunSpec
 from repro.sim.stats import geometric_mean
 from repro.workloads import get_workload, workload_names
@@ -56,16 +55,20 @@ class ExperimentContext:
     :meth:`prefetch`/:meth:`prefetch_all` (1 = serial, 0 = all cores).
     ``cache`` is an optional :class:`~repro.sim.cache.ResultCache`; when
     given, every run is looked up there first and written back after.
+    ``trace_dir``, when given, makes every simulated run write its JSONL
+    event trace there; traced runs bypass cache reads so the trace files
+    actually appear (results are unchanged either way).
     """
 
     def __init__(self, config=None, limit_refs=None, scale=1.0, seed=12345,
-                 jobs=1, cache=None):
+                 jobs=1, cache=None, trace_dir=None):
         self.config = config or MachineConfig.scaled()
         self.limit_refs = limit_refs
         self.scale = scale
         self.seed = seed
         self.jobs = jobs
         self.cache = cache
+        self.trace_dir = trace_dir
         self._results = {}  # RunSpec -> SimStats
 
     # ------------------------------------------------------------------
@@ -106,7 +109,7 @@ class ExperimentContext:
         """Resolve RunSpecs through the batch runner + persistent cache."""
         todo = [s for s in specs if s not in self._results]
         results = run_batch(todo, jobs=self.jobs, cache=self.cache,
-                            progress=progress)
+                            progress=progress, trace_dir=self.trace_dir)
         self._results.update(zip(todo, results))
         return [self._results[s] for s in specs]
 
@@ -118,12 +121,7 @@ class ExperimentContext:
         """Run (or fetch from cache) one simulation; returns SimStats."""
         spec = self.spec(benchmark, scheme, mode, policy)
         if spec not in self._results:
-            stats = self.cache.get(spec) if self.cache is not None else None
-            if stats is None:
-                stats = execute(spec)
-                if self.cache is not None:
-                    self.cache.put(spec, stats)
-            self._results[spec] = stats
+            self.prefetch([spec])
         return self._results[spec]
 
     # ------------------------------------------------------------------

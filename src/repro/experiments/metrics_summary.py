@@ -1,0 +1,92 @@
+"""Observability summary: timeliness, pollution and channel utilization.
+
+Two tables built from the metrics layer (:mod:`repro.metrics`):
+
+* :func:`run` — per (benchmark, scheme): how every prefetched block was
+  classified (timely / late / useless-evicted / never-referenced),
+  pollution misses charged to prefetch evictions, mean DRAM channel
+  utilization, and absolute traffic.
+* :func:`run_deltas` — GRP head-to-head against SRP: the paper's central
+  claim is that software guidance keeps SRP's coverage while slashing its
+  traffic and pollution, and this table shows the per-benchmark traffic
+  ratios and pollution deltas directly.
+"""
+
+from repro.experiments.common import ExperimentResult, PERF_BENCHMARKS
+from repro.sim.stats import geometric_mean
+
+SCHEMES = ["stride", "srp", "grp", "grp-fix"]
+
+
+def run(ctx, benchmarks=None):
+    """Per-run metrics overview across the standard schemes."""
+    names = benchmarks or PERF_BENCHMARKS
+    rows = []
+    for bench in names:
+        for scheme in SCHEMES:
+            stats = ctx.run(bench, scheme)
+            fills = max(1, stats.timely_prefetches + stats.late_prefetches
+                        + stats.useless_evicted_prefetches
+                        + stats.never_referenced_prefetches)
+            rows.append([
+                bench,
+                scheme,
+                stats.timely_prefetches,
+                stats.late_prefetches,
+                stats.useless_evicted_prefetches,
+                stats.never_referenced_prefetches,
+                round(100.0 * stats.timely_prefetches / fills, 1),
+                stats.pollution_misses,
+                round(100.0 * stats.mean_channel_utilization, 1),
+                stats.traffic_bytes // 1024,
+            ])
+    return ExperimentResult(
+        "Prefetch timeliness, pollution and DRAM utilization",
+        ["benchmark", "scheme", "timely", "late", "useless", "neverref",
+         "timely%", "pollmiss", "util%", "trafficKB"],
+        rows,
+        notes="timely+late+useless+neverref == prefetch fills; "
+              "pollmiss = demand misses to blocks a prefetch evicted.",
+    )
+
+
+def run_deltas(ctx, benchmarks=None):
+    """GRP vs SRP: traffic ratios and pollution deltas per benchmark."""
+    names = benchmarks or PERF_BENCHMARKS
+    rows = []
+    ratios = []
+    for bench in names:
+        base = ctx.run(bench, "none")
+        srp = ctx.run(bench, "srp")
+        grp = ctx.run(bench, "grp")
+        srp_traffic = srp.traffic_ratio_over(base)
+        grp_traffic = grp.traffic_ratio_over(base)
+        ratio = grp.traffic_bytes / srp.traffic_bytes \
+            if srp.traffic_bytes else 0.0
+        ratios.append(ratio)
+        rows.append([
+            bench,
+            round(srp_traffic, 2),
+            round(grp_traffic, 2),
+            round(ratio, 2),
+            srp.pollution_misses,
+            grp.pollution_misses,
+            grp.pollution_misses - srp.pollution_misses,
+            round(100.0 * srp.mean_channel_utilization, 1),
+            round(100.0 * grp.mean_channel_utilization, 1),
+        ])
+    rows.append([
+        "geomean",
+        round(ctx.geomean_traffic("srp", names), 2),
+        round(ctx.geomean_traffic("grp", names), 2),
+        round(geometric_mean(ratios), 2),
+        "", "", "", "", "",
+    ])
+    return ExperimentResult(
+        "GRP vs SRP: traffic and pollution deltas",
+        ["benchmark", "srp.traf", "grp.traf", "grp/srp",
+         "srp.poll", "grp.poll", "d.poll", "srp.util%", "grp.util%"],
+        rows,
+        notes="traf = DRAM traffic normalized to no prefetching; "
+              "grp/srp < 1 means guidance cut SRP's bandwidth cost.",
+    )

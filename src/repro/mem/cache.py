@@ -10,6 +10,8 @@ MRU.  Associativities in this system are small (2 or 4 way), so linear scans
 are cheap and keep the code obvious.
 """
 
+from collections import OrderedDict
+
 from repro.mem.layout import block_base, is_power_of_two
 
 
@@ -50,6 +52,11 @@ class CacheStats:
         self.useless_evicted_prefetches = 0
         self.writebacks = 0
         self.prefetch_hits_squashed = 0
+        #: Demand misses to blocks a prefetch fill evicted (shadow-tag
+        #: attribution): the paper's cache-pollution cost, directly.
+        self.pollution_misses = 0
+        #: Evictions caused by prefetch fills (the shadow set's inflow).
+        self.prefetch_evictions = 0
 
     @property
     def miss_rate(self):
@@ -74,6 +81,8 @@ class CacheStats:
             "useful_prefetches": self.useful_prefetches,
             "useless_evicted_prefetches": self.useless_evicted_prefetches,
             "writebacks": self.writebacks,
+            "pollution_misses": self.pollution_misses,
+            "prefetch_evictions": self.prefetch_evictions,
             "miss_rate": self.miss_rate,
         }
 
@@ -105,6 +114,20 @@ class Cache:
         self._set_mask = self.num_sets - 1
         self._block_shift = block_size.bit_length() - 1
         self.stats = CacheStats()
+        #: Shadow victim set for pollution attribution: blocks most
+        #: recently evicted *by a prefetch fill*.  A demand miss that hits
+        #: this set is a pollution miss — the prefetch displaced data the
+        #: program still needed.  Bounded to one full tag array's worth of
+        #: entries (FIFO), like a hardware shadow-tag structure.
+        self._shadow = OrderedDict()
+        self._shadow_capacity = self.num_sets * assoc
+        #: Optional observer with ``on_fill(cache, block, prefetched)``,
+        #: ``on_evict(cache, block, prefetched, referenced, by_prefetch)``,
+        #: ``on_demand_hit(cache, block, first_use)`` and
+        #: ``on_demand_miss(cache, block, polluted)`` hooks — the metrics
+        #: layer's tracing tap.  None (the default) costs one comparison
+        #: per event.
+        self.observer = None
 
     # ------------------------------------------------------------------
     def _set_index(self, block):
@@ -132,15 +155,23 @@ class Cache:
         lines, pos = self._find(block)
         if pos < 0:
             self.stats.demand_misses += 1
+            polluted = self._shadow.pop(block, None) is not None
+            if polluted:
+                self.stats.pollution_misses += 1
+            if self.observer is not None:
+                self.observer.on_demand_miss(self, block, polluted)
             return False
         line = lines.pop(pos)
         lines.append(line)  # promote to MRU
-        if not line.referenced:
+        first_use = not line.referenced
+        if first_use:
             line.referenced = True
             self.stats.useful_prefetches += 1
         if is_store:
             line.dirty = True
         self.stats.demand_hits += 1
+        if self.observer is not None:
+            self.observer.on_demand_hit(self, block, first_use)
         return True
 
     def contains(self, addr):
@@ -174,9 +205,22 @@ class Cache:
             victim = lines.pop(0)  # LRU
             if victim.prefetched and not victim.referenced:
                 self.stats.useless_evicted_prefetches += 1
+            if prefetched:
+                # Shadow the victim: a later demand miss to it is cache
+                # pollution chargeable to this prefetch fill.
+                self.stats.prefetch_evictions += 1
+                self._shadow[victim.block] = True
+                if len(self._shadow) > self._shadow_capacity:
+                    self._shadow.popitem(last=False)
             if victim.dirty:
                 self.stats.writebacks += 1
                 writeback = victim.block
+            if self.observer is not None:
+                self.observer.on_evict(self, victim.block, victim.prefetched,
+                                       victim.referenced, prefetched)
+        # The block is resident again: any pending pollution attribution
+        # against it is moot.
+        self._shadow.pop(block, None)
         line = CacheLine(block, prefetched=prefetched)
         if is_store:
             line.dirty = True
@@ -186,6 +230,8 @@ class Cache:
             lines.append(line)  # MRU
         if prefetched:
             self.stats.prefetch_fills += 1
+        if self.observer is not None:
+            self.observer.on_fill(self, block, prefetched)
         return writeback
 
     def invalidate(self, addr):

@@ -64,6 +64,13 @@ class MemoryController:
         self.prefetches_issued = 0
         self.prefetches_dropped_resident = 0
         self.prefetches_blocked_mshr = 0
+        #: Installed by the hierarchy when structured tracing is on: the
+        #: metrics collector, notified per issued/dropped candidate.
+        self.metrics = None
+        #: The candidate most recently counted as MSHR-blocked.  The issue
+        #: loop probes a held candidate again on every later call, so the
+        #: blocked counter only advances when a *different* request blocks.
+        self._last_blocked_mshr = None
 
     # ------------------------------------------------------------------
     def demand_fetch(self, block, now):
@@ -99,6 +106,8 @@ class MemoryController:
             block = request.block
             if self.is_resident is not None and self.is_resident(block):
                 self.prefetches_dropped_resident += 1
+                if self.metrics is not None:
+                    self.metrics.on_prefetch_dropped(request, now)
                 self.prefetcher.on_candidate_dropped(request)
                 continue
             earliest = max(request.queued_at, self.dram.channel_free_at(block))
@@ -108,7 +117,9 @@ class MemoryController:
             if self.mshrs is not None:
                 free_at = self.mshrs.earliest_free(earliest)
                 if free_at > earliest:
-                    self.prefetches_blocked_mshr += 1
+                    if request is not self._last_blocked_mshr:
+                        self.prefetches_blocked_mshr += 1
+                        self._last_blocked_mshr = request
                     earliest = free_at
             if earliest >= now:
                 # No idle issue slot (channel or MSHR) before `now`; hold
@@ -120,6 +131,8 @@ class MemoryController:
                 self.mshrs.allocate(block, ready, earliest)
             self.prefetches_issued += 1
             issued += 1
+            if self.metrics is not None:
+                self.metrics.on_prefetch_issue(request, earliest, ready)
             if self.fill_prefetch is not None:
                 self.fill_prefetch(request, ready)
 

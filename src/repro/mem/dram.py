@@ -87,6 +87,9 @@ class DRAMSystem:
             [None] * cfg.banks_per_channel for _ in range(cfg.channels)
         ]
         self._block_shift = cfg.block_size.bit_length() - 1
+        #: Cumulative cycles each channel spent transferring data — the
+        #: numerator of per-channel utilization (busy / elapsed cycles).
+        self.channel_busy_cycles = [0] * cfg.channels
         self.stats = DRAMStats()
 
     # ------------------------------------------------------------------
@@ -150,6 +153,7 @@ class DRAMSystem:
             self.stats.row_misses += 1
             self._open_rows[ch][bank] = row
         self._channel_free[ch] = start + cfg.transfer_cycles
+        self.channel_busy_cycles[ch] += cfg.transfer_cycles
         if kind == "demand":
             self.stats.demand_blocks += 1
         elif kind == "prefetch":

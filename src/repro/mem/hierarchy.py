@@ -30,6 +30,7 @@ from repro.mem.dram import DRAMSystem
 from repro.mem.layout import block_base
 from repro.mem.mshr import MSHRFile
 from repro.mem.tlb import TLB
+from repro.metrics import MetricsCollector
 
 
 class HierarchyStats:
@@ -53,7 +54,8 @@ class HierarchyStats:
 class Hierarchy:
     """L1 + L2 + MSHRs + memory controller + DRAM, with prefetcher hooks."""
 
-    def __init__(self, config, space, prefetcher=None, mode="real"):
+    def __init__(self, config, space, prefetcher=None, mode="real",
+                 trace_sink=None):
         if mode not in ("real", "perfect_l1", "perfect_l2"):
             raise ValueError("unknown hierarchy mode %r" % mode)
         self.config = config
@@ -85,6 +87,10 @@ class Hierarchy:
         )
         self.stats = HierarchyStats()
         self._prefetch_ready = {}
+        # Observability layer: always collects the summary metrics; the
+        # per-event trace hooks are installed only when a sink is given.
+        self.metrics = MetricsCollector(sink=trace_sink)
+        self.metrics.attach(self)
 
     # ------------------------------------------------------------------
     # Prefetch fill path (controller callback)
@@ -92,6 +98,9 @@ class Hierarchy:
     def _fill_prefetch(self, request, ready):
         block = request.block
         if self.prefetcher is None or self.prefetcher.fills_l2:
+            # Stamp the collector's clock before the fill so any eviction
+            # the fill causes is traced at the fill's ready time.
+            self.metrics.on_prefetch_fill(request, ready)
             writeback = self.l2.fill(block, prefetched=True)
             if writeback is not None:
                 self.controller.writeback(writeback, ready)
@@ -124,6 +133,7 @@ class Hierarchy:
         # this access: prefetches queued earlier may have completed (or be
         # in flight) by now, turning this lookup into a (late) hit.
         self.controller.issue_prefetches(now)
+        self.metrics.tick(now)
         block = block_base(addr, self.block_size)
         if self.l1.access(addr, is_store=is_store):
             return now + self.l1.latency
@@ -139,15 +149,21 @@ class Hierarchy:
     def _l2_access(self, block, addr, t, is_store, ref_id, hint):
         if self.mode == "perfect_l2":
             return t + self.l2.latency
+        useful_before = self.l2.stats.useful_prefetches
         hit = self.l2.access(addr, is_store=is_store)
         if self.prefetcher is not None:
             self.prefetcher.on_l2_access(block, addr, ref_id, hint, t, hit)
         if hit:
             completion = t + self.l2.latency
             ready = self._prefetch_ready.pop(block, None)
-            if ready is not None and ready > completion:
+            late = ready is not None and ready > completion
+            if late:
                 self.stats.late_prefetch_hits += 1
                 completion = ready
+            if self.l2.stats.useful_prefetches != useful_before:
+                # First demand touch of a prefetched line: classify its
+                # timeliness (did the prefetch hide the full miss latency?).
+                self.metrics.on_prefetch_first_use(block, late, t)
             return completion
         return self._l2_miss(block, addr, t, is_store, ref_id, hint)
 
@@ -166,7 +182,7 @@ class Hierarchy:
         if merged is not None:
             self.stats.mshr_merge_waits += 1
             return max(merged, t + self.l2.latency)
-        start = max(t, self.l2_mshrs.earliest_free(t))
+        start = max(t, self.l2_mshrs.earliest_free(t, record_stall=True))
         ready = self.controller.demand_fetch(block, start)
         self.l2_mshrs.allocate(block, ready, start)
         writeback = self.l2.fill(addr, is_store=is_store)
@@ -186,6 +202,7 @@ class Hierarchy:
     def finish(self, now):
         """Flush prefetch issue at end of simulation (for traffic totals)."""
         self.controller.drain(now)
+        self.metrics.finalize(self, now)
 
     # ------------------------------------------------------------------
     def traffic_bytes(self):

@@ -51,16 +51,23 @@ class MSHRFile:
             self.merges += 1
         return ready
 
-    def earliest_free(self, now):
+    def earliest_free(self, now, record_stall=False):
         """Cycle at which a register becomes available.
 
         ``now`` when one is already free; otherwise the earliest outstanding
         completion time.  The caller stalls the new miss until then.
+
+        ``record_stall`` counts a full file against ``stalls``; only the
+        demand-miss path sets it.  The prefetch controller *probes* this
+        method speculatively (and pushes the candidate back when blocked),
+        so counting every probe would inflate the stall counter many times
+        for one blocked request.
         """
         self._reclaim(now)
         if len(self._inflight) < self.num_entries:
             return now
-        self.stalls += 1
+        if record_stall:
+            self.stalls += 1
         return min(self._inflight.values())
 
     def allocate(self, block, ready, now):

@@ -1,0 +1,31 @@
+"""repro.metrics — the simulator-wide observability layer.
+
+The paper's headline claims are *observability* claims: GRP keeps SRP's
+speedup while cutting its ~180% traffic overhead to ~23%, which can only
+be verified by measuring prefetch timeliness, cache pollution, and
+memory-channel utilization per run (the quantities behind Tables 5–6 and
+Figure 9).  This package computes them for every simulation:
+
+* :class:`~repro.metrics.collector.MetricsCollector` — per-run timeliness
+  classification (timely / late / useless-evicted / never-referenced),
+  pollution and utilization summaries, and interval time-series sampling;
+* :class:`~repro.metrics.timeseries.IntervalSeries` — the bounded
+  streaming sampler behind the time series;
+* :class:`~repro.metrics.sink.TraceSink` — opt-in structured JSONL event
+  tracing (zero overhead when disabled).
+
+Every metric lands in ``SimStats.metrics`` and round-trips losslessly
+through JSON, the parallel batch runner, and the persistent result cache.
+"""
+
+from repro.metrics.collector import SAMPLE_COLUMNS, MetricsCollector
+from repro.metrics.sink import TraceSink, read_trace
+from repro.metrics.timeseries import IntervalSeries
+
+__all__ = [
+    "MetricsCollector",
+    "IntervalSeries",
+    "TraceSink",
+    "read_trace",
+    "SAMPLE_COLUMNS",
+]

@@ -1,0 +1,189 @@
+"""The simulator-wide metrics collector.
+
+One :class:`MetricsCollector` rides along with every
+:class:`~repro.mem.hierarchy.Hierarchy` and turns the raw event stream
+into the observability quantities the paper's evaluation is built on:
+
+* **Prefetch timeliness** — every prefetched block that the L2 installs is
+  classified exactly once: *timely* (first demand touch after its data
+  was ready — the full miss latency was hidden), *late* (first touch
+  while the fill was still in flight — only part of the latency hidden),
+  *useless-evicted* (left the cache without ever being referenced), or
+  *never-referenced* (still resident and untouched at simulation end).
+  ``timely + late + useless_evicted + never_referenced == prefetch_fills``
+  holds by construction.
+* **Pollution** — demand misses to blocks that a prefetch fill evicted
+  (the shadow-tag victim set lives in :mod:`repro.mem.cache`); the
+  collector surfaces the counters and traces the events.
+* **Interval time series** — DRAM channel busy cycles (cumulative), MSHR
+  occupancy and prefetch-queue depth (gauges), sampled on existing access
+  boundaries through a bounded :class:`~repro.metrics.timeseries.IntervalSeries`.
+* **Structured tracing** — when a :class:`~repro.metrics.sink.TraceSink`
+  is installed, per-event JSONL records flow out.  Without a sink the
+  cache-level observer hooks are never installed and the remaining hot
+  path is one comparison per access, so disabled tracing is free.
+
+The collector's :meth:`snapshot` is plain data and becomes the
+``metrics`` field of :class:`~repro.sim.stats.SimStats`, so every number
+here round-trips through JSON, the batch worker pool, and the persistent
+result cache.
+"""
+
+from repro.metrics.timeseries import IntervalSeries
+
+#: Columns of the interval time series, in stored order.  ``dram_busy``
+#: is cumulative (difference adjacent points for per-interval rates);
+#: the other two are point-in-time gauges.
+SAMPLE_COLUMNS = ("dram_busy", "mshr_occupancy", "queue_depth")
+
+
+class MetricsCollector:
+    """Observes one hierarchy; produces the run's metrics snapshot."""
+
+    def __init__(self, sink=None, sample_interval=1024, max_points=512):
+        self.sink = sink
+        self.series = IntervalSeries(
+            SAMPLE_COLUMNS, interval=sample_interval, max_points=max_points
+        )
+        self.timely_prefetch_uses = 0
+        self.late_prefetch_uses = 0
+        self.max_mshr_occupancy = 0
+        self.max_queue_depth = 0
+        self._hierarchy = None
+        self._now = 0.0  # timestamp for cache-level observer events
+        self._final = None
+
+    def attach(self, hierarchy):
+        """Wire the collector to a hierarchy (called by the hierarchy).
+
+        The always-on part costs one comparison per access; the L2
+        observer and controller hooks — which fire per cache/DRAM event —
+        are installed only when a trace sink is present.
+        """
+        self._hierarchy = hierarchy
+        if self.sink is not None:
+            hierarchy.l2.observer = self
+            hierarchy.controller.metrics = self
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (called by the hierarchy on every run)
+    # ------------------------------------------------------------------
+    def tick(self, now):
+        """Advance the interval sampler; called once per memory access."""
+        self._now = now
+        if not self.series.due(now):
+            return
+        hier = self._hierarchy
+        dram_busy = sum(hier.dram.channel_busy_cycles)
+        mshr = hier.l2_mshrs.outstanding(now)
+        queue = self.queue_depth()
+        if mshr > self.max_mshr_occupancy:
+            self.max_mshr_occupancy = mshr
+        if queue > self.max_queue_depth:
+            self.max_queue_depth = queue
+        self.series.record(now, (dram_busy, mshr, queue))
+        if self.sink is not None:
+            self.sink.emit("sample", now, dram_busy=dram_busy,
+                           mshr=mshr, queue=queue)
+
+    def on_prefetch_first_use(self, block, late, now):
+        """First demand touch of a prefetched L2 line (from the hierarchy)."""
+        if late:
+            self.late_prefetch_uses += 1
+        else:
+            self.timely_prefetch_uses += 1
+        if self.sink is not None:
+            self.sink.emit("pf_use", now, block=block, late=late)
+
+    def on_prefetch_fill(self, request, ready):
+        """A prefetched line was installed (data ready at ``ready``)."""
+        self._now = ready
+        if self.sink is not None:
+            self.sink.emit("pf_fill", ready, block=request.block,
+                           depth=request.depth)
+
+    # ------------------------------------------------------------------
+    # Controller hooks (installed only when tracing)
+    # ------------------------------------------------------------------
+    def on_prefetch_issue(self, request, start, ready):
+        self.sink.emit("pf_issue", start, block=request.block,
+                       ready=ready, depth=request.depth)
+
+    def on_prefetch_dropped(self, request, now):
+        self.sink.emit("pf_drop", now, block=request.block)
+
+    # ------------------------------------------------------------------
+    # Cache observer hooks (installed on the L2 only when tracing)
+    # ------------------------------------------------------------------
+    def on_fill(self, cache, block, prefetched):
+        if not prefetched:
+            self.sink.emit("fill", self._now, block=block)
+
+    def on_evict(self, cache, block, prefetched, referenced, by_prefetch):
+        self.sink.emit("evict", self._now, block=block,
+                       prefetched=prefetched, referenced=referenced,
+                       by_prefetch=by_prefetch)
+
+    def on_demand_hit(self, cache, block, first_use):
+        """Present for protocol completeness; pf_use carries the signal."""
+
+    def on_demand_miss(self, cache, block, polluted):
+        self.sink.emit("l2_miss", self._now, block=block, polluted=polluted)
+
+    # ------------------------------------------------------------------
+    def queue_depth(self):
+        """Depth of the prefetcher's region queue (0 when there is none)."""
+        prefetcher = self._hierarchy.prefetcher
+        queue = getattr(prefetcher, "queue", None)
+        return len(queue) if queue is not None else 0
+
+    # ------------------------------------------------------------------
+    def finalize(self, hierarchy, now):
+        """Fold in end-of-run state; called by ``Hierarchy.finish``."""
+        l2 = hierarchy.l2
+        mshrs = hierarchy.l2_mshrs
+        cycles = max(float(now), 1.0)
+        busy = [float(b) for b in hierarchy.dram.channel_busy_cycles]
+        utilization = [min(1.0, b / cycles) for b in busy]
+        queue = getattr(hierarchy.prefetcher, "queue", None)
+        self._final = {
+            "cycles": float(now),
+            "timeliness": {
+                "prefetch_fills": l2.stats.prefetch_fills,
+                "timely": self.timely_prefetch_uses,
+                "late": self.late_prefetch_uses,
+                "useless_evicted": l2.stats.useless_evicted_prefetches,
+                "never_referenced": l2.resident_unreferenced_prefetches(),
+            },
+            "pollution": {
+                "pollution_misses": l2.stats.pollution_misses,
+                "prefetch_evictions": l2.stats.prefetch_evictions,
+            },
+            "dram": {
+                "channel_busy_cycles": busy,
+                "channel_utilization": utilization,
+                "mean_channel_utilization": (
+                    sum(utilization) / len(utilization)
+                    if utilization else 0.0
+                ),
+            },
+            "mshr": {
+                "demand_stalls": mshrs.stalls,
+                "merges": mshrs.merges,
+                "max_sampled_occupancy": self.max_mshr_occupancy,
+            },
+            "queue": {
+                "max_sampled_depth": self.max_queue_depth,
+                "region_splits": (
+                    queue.region_splits if queue is not None else 0
+                ),
+            },
+            "timeseries": self.series.snapshot(),
+        }
+        if self.sink is not None:
+            self.sink.emit("summary", now, metrics=self._final)
+        return self._final
+
+    def snapshot(self):
+        """The run's metrics as plain data ({} before finalize)."""
+        return self._final if self._final is not None else {}

@@ -1,0 +1,72 @@
+"""Structured event tracing: a pluggable JSONL sink.
+
+A :class:`TraceSink` receives one call per traced simulator event and
+writes it as a single JSON line — the format every timeline viewer and
+ad-hoc ``jq``/pandas analysis can consume.  Tracing is strictly opt-in:
+when no sink is installed the emit sites reduce to one ``is None`` check
+(and the cache-level observer hooks are not installed at all), so the
+disabled path costs nothing measurable.
+
+Event vocabulary (the ``ev`` field):
+
+==============  =====================================================
+``pf_issue``    prefetch sent to DRAM (block, issue cycle, ready cycle)
+``pf_fill``     prefetched line installed in the L2
+``pf_drop``     candidate dropped because its target was resident
+``pf_use``      first demand touch of a prefetched line (timely/late)
+``l2_miss``     demand L2 miss (with pollution attribution)
+``evict``       L2 eviction (victim flags; whether a prefetch displaced it)
+``sample``      one interval-metrics sample row
+``summary``     the final metrics snapshot, emitted at close
+==============  =====================================================
+
+All cycle values are emitted as numbers exactly as the simulator holds
+them (floats from the core clock, ints from DRAM timing).
+"""
+
+import json
+
+
+class TraceSink:
+    """Writes structured simulator events as JSON lines."""
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = open(path, "w")
+        self.events_written = 0
+
+    def emit(self, event, now, **fields):
+        """Write one event line: ``{"ev": ..., "t": ..., **fields}``."""
+        record = {"ev": event, "t": now}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "TraceSink(%r, %d events)" % (self.path, self.events_written)
+
+
+def read_trace(path):
+    """Load a JSONL trace back into a list of event dicts (for tests
+    and offline analysis)."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

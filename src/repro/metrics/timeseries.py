@@ -1,0 +1,75 @@
+"""Bounded streaming time series for simulator-wide interval metrics.
+
+The observability layer samples a handful of machine-state columns (DRAM
+channel busy cycles, MSHR occupancy, prefetch-queue depth) on existing
+event boundaries — no extra simulator events are scheduled.  Because a
+run's length is unknown up-front, :class:`IntervalSeries` keeps a *hard
+bound* on stored points: when the buffer fills, every other point is
+dropped and the sampling interval doubles (classic streaming decimation).
+The series therefore costs O(max_points) memory for any run length, and
+its output resolution degrades gracefully instead of truncating the tail.
+
+Column conventions
+------------------
+* **Cumulative** columns (e.g. DRAM busy cycles) store running totals, so
+  decimation is lossless for them — consumers difference adjacent points
+  to recover per-interval rates.
+* **Gauge** columns (MSHR occupancy, queue depth) store point samples;
+  decimation subsamples them.
+
+The snapshot form is plain data (lists of numbers) so it rides inside
+``SimStats.to_dict`` through JSON, the batch worker pool, and the
+persistent result cache without special handling.
+"""
+
+
+class IntervalSeries:
+    """A fixed-memory, interval-sampled time series."""
+
+    def __init__(self, columns, interval=1024, max_points=512):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        if max_points < 4:
+            raise ValueError("max_points must be at least 4")
+        self.columns = tuple(columns)
+        self.interval = interval
+        self.max_points = max_points
+        self.points = []  # [cycle, col0, col1, ...] per sample
+        self._next = interval
+
+    def __len__(self):
+        return len(self.points)
+
+    def due(self, now):
+        """True when ``now`` has crossed the next sampling boundary.
+
+        This is the only call made on the hot path between samples: one
+        float comparison.
+        """
+        return now >= self._next
+
+    def record(self, now, values):
+        """Store one sample row; advances the sampling boundary.
+
+        Callers guard with :meth:`due` so ``values`` (which may be
+        expensive to gather) is only computed when a sample is actually
+        taken.
+        """
+        self.points.append([now] + list(values))
+        self._next = now + self.interval
+        if len(self.points) >= self.max_points:
+            self._decimate()
+
+    def _decimate(self):
+        """Halve resolution: keep every other point, double the interval."""
+        self.points = self.points[1::2]
+        self.interval *= 2
+
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Plain-data form: JSON-safe, loss-free for what was retained."""
+        return {
+            "columns": list(self.columns),
+            "interval": self.interval,
+            "points": [list(point) for point in self.points],
+        }

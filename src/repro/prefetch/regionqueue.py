@@ -67,6 +67,7 @@ class RegionQueue:
         self.regions_allocated = 0
         self.regions_dropped = 0
         self.candidates_issued = 0
+        self.region_splits = 0
 
     def __len__(self):
         return len(self._entries)
@@ -74,9 +75,18 @@ class RegionQueue:
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
-    def _find(self, base):
+    def _find_covering(self, miss_block):
+        """Position of the entry whose span contains ``miss_block``, or -1.
+
+        Entries may carry different region sizes (variable-size regions),
+        so containment is tested against each entry's *own* span rather
+        than a base address computed with the caller's region size —
+        matching by recomputed base could alias a different entry and
+        clear the wrong bitvector bit.
+        """
         for pos, entry in enumerate(self._entries):
-            if entry.base == base:
+            span = entry.nblocks * self.block_size
+            if entry.base <= miss_block < entry.base + span:
                 return pos
         return -1
 
@@ -87,20 +97,22 @@ class RegionQueue:
         blocks not already resident in the L2 (excluding the miss block
         itself, which the demand fetch brings in).  On a repeat miss the
         existing entry's miss bit is cleared, its index advances past the
-        new miss, and the entry moves to the head.
+        new miss, and the entry moves to the head; indices are re-derived
+        from the entry's own geometry, which may differ from ``rsize``.
         """
         rsize = region_size or self.region_size
-        base = region_base(miss_block, rsize)
-        nblocks = rsize // self.block_size
-        miss_index = block_index_in_region(miss_block, rsize, self.block_size)
-        pos = self._find(base)
+        pos = self._find_covering(miss_block)
         if pos >= 0:
             entry = self._entries.pop(pos)
+            miss_index = (miss_block - entry.base) // self.block_size
             entry.bitvec &= ~(1 << miss_index)
             entry.index = (miss_index + 1) % entry.nblocks
             entry.queued_at = now
             self._entries.insert(0, entry)
             return entry
+        base = region_base(miss_block, rsize)
+        nblocks = rsize // self.block_size
+        miss_index = block_index_in_region(miss_block, rsize, self.block_size)
         bitvec = 0
         for i in range(nblocks):
             block = base + i * self.block_size
@@ -116,31 +128,45 @@ class RegionQueue:
         return entry
 
     def allocate_blocks(self, blocks, now, depth=0):
-        """Allocate an entry for an explicit block list (pointer/indirect).
+        """Allocate entries for an explicit block list (pointer/indirect).
 
         Pointer and indirect prefetches are region-style entries with only
         the named blocks' bits set (typically the target block plus its
-        successor).  Blocks must share one aligned region; callers split
-        across regions when needed.
+        successor).  A block list that straddles an aligned-region boundary
+        — a pointer target in the last block of a region, say — is split
+        into one entry per region, so no named block is ever silently
+        dropped.  Returns the list of entries created (possibly empty when
+        every block is already resident).
         """
         if not blocks:
-            return None
-        base = region_base(blocks[0], self.region_size)
+            return []
         nblocks = self.region_size // self.block_size
-        bitvec = 0
+        groups = {}
         for block in blocks:
-            if region_base(block, self.region_size) != base:
+            groups.setdefault(
+                region_base(block, self.region_size), []
+            ).append(block)
+        if len(groups) > 1:
+            self.region_splits += 1
+        entries = []
+        for base, group in groups.items():
+            bitvec = 0
+            for block in group:
+                if self.is_resident is not None and self.is_resident(block):
+                    continue
+                idx = block_index_in_region(
+                    block, self.region_size, self.block_size
+                )
+                bitvec |= 1 << idx
+            if bitvec == 0:
                 continue
-            if self.is_resident is not None and self.is_resident(block):
-                continue
-            idx = block_index_in_region(block, self.region_size, self.block_size)
-            bitvec |= 1 << idx
-        if bitvec == 0:
-            return None
-        first = block_index_in_region(blocks[0], self.region_size, self.block_size)
-        entry = RegionEntry(base, bitvec, nblocks, first, depth, now)
-        self._insert(entry)
-        return entry
+            first = block_index_in_region(
+                group[0], self.region_size, self.block_size
+            )
+            entry = RegionEntry(base, bitvec, nblocks, first, depth, now)
+            self._insert(entry)
+            entries.append(entry)
+        return entries
 
     def _insert(self, entry):
         self.regions_allocated += 1

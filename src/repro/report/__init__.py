@@ -4,6 +4,7 @@ serialized RunResults — as CSV/JSON for external plotting."""
 
 from repro.report.bars import bar_chart, grouped_bar_chart
 from repro.report.export import (
+    SUMMARY_COLUMNS,
     result_to_csv,
     results_to_json,
     runs_from_json,
@@ -12,6 +13,7 @@ from repro.report.export import (
 )
 
 __all__ = [
+    "SUMMARY_COLUMNS",
     "bar_chart",
     "grouped_bar_chart",
     "result_to_csv",

@@ -15,6 +15,18 @@ import json
 
 from repro.sim.stats import SimStats
 
+#: The stable column schema of :func:`runs_to_csv`, in export order.
+#: Downstream consumers (CI's schema check, notebooks, spreadsheets) key
+#: on these names; extend the tuple deliberately, never reorder it.
+SUMMARY_COLUMNS = (
+    "workload", "scheme", "instructions", "cycles", "ipc",
+    "l2_miss_rate", "l2_demand_misses", "traffic_bytes",
+    "prefetch_accuracy", "dram_demand_blocks", "dram_prefetch_blocks",
+    "timely_prefetches", "late_prefetches", "useless_evicted_prefetches",
+    "never_referenced_prefetches", "pollution_misses",
+    "mean_channel_utilization",
+)
+
 
 def result_to_csv(result):
     """Serialize one ExperimentResult as CSV text (headers + rows)."""
@@ -56,14 +68,15 @@ def runs_from_json(text):
 
 
 def runs_to_csv(runs):
-    """Flat CSV of per-run summary metrics (one row per RunResult)."""
+    """Flat CSV of per-run summary metrics (one row per RunResult).
+
+    Columns are exactly :data:`SUMMARY_COLUMNS`, in that order, for every
+    input — a deterministic schema regardless of which runs are exported.
+    """
     out = io.StringIO()
     writer = csv.writer(out)
-    rows = [stats.summary() for stats in runs]
-    if not rows:
-        return out.getvalue()
-    headers = list(rows[0])
-    writer.writerow(headers)
-    for row in rows:
-        writer.writerow([row[h] for h in headers])
+    writer.writerow(SUMMARY_COLUMNS)
+    for stats in runs:
+        row = stats.summary()
+        writer.writerow([row[name] for name in SUMMARY_COLUMNS])
     return out.getvalue()

@@ -29,12 +29,17 @@ def main(argv=None):
     parser.add_argument("--baseline", action="store_true",
                         help="also run the no-prefetching baseline and "
                              "report relative metrics")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the observability summary (prefetch "
+                             "timeliness, pollution, DRAM utilization)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write the run's JSONL event trace to FILE")
     args = parser.parse_args(argv)
 
     config = getattr(MachineConfig, args.config)()
     stats = run_workload(args.benchmark, args.scheme, config=config,
                          mode=args.mode, policy=args.policy,
-                         limit_refs=args.refs)
+                         limit_refs=args.refs, trace_path=args.trace)
     print("machine: %s" % config.describe())
     print("%s / %s (%s, policy=%s)" % (args.benchmark, args.scheme,
                                        args.mode, args.policy))
@@ -44,6 +49,19 @@ def main(argv=None):
     print("  L2 miss rate  %11.1f%%" % (100 * stats.l2_miss_rate))
     print("  DRAM traffic  %12d bytes" % stats.traffic_bytes)
     print("  pf accuracy   %11.1f%%" % (100 * stats.prefetch_accuracy))
+    if args.metrics:
+        print("observability:")
+        print("  timely pf     %12d" % stats.timely_prefetches)
+        print("  late pf       %12d" % stats.late_prefetches)
+        print("  useless pf    %12d" % stats.useless_evicted_prefetches)
+        print("  neverref pf   %12d" % stats.never_referenced_prefetches)
+        print("  pollution     %12d misses" % stats.pollution_misses)
+        print("  chan util     %11.1f%%"
+              % (100 * stats.mean_channel_utilization))
+        mshr = stats.metrics.get("mshr", {})
+        print("  mshr stalls   %12d" % mshr.get("demand_stalls", 0))
+    if args.trace:
+        print("trace written to %s" % args.trace)
     if args.baseline and args.scheme != "none":
         base = run_workload(args.benchmark, "none", config=config,
                             limit_refs=args.refs)

@@ -27,19 +27,30 @@ def resolve_jobs(jobs):
     return max(1, jobs)
 
 
-def _worker(spec_data):
-    """Pool worker: dict in, dict out (runs in a separate process)."""
+def _worker(payload):
+    """Pool worker: (spec dict, trace path) in, dict out (separate process)."""
     from repro.sim.runner import execute  # late: keep fork/spawn cheap
-    return execute(RunSpec.from_dict(spec_data)).to_dict()
+    spec_data, trace_path = payload
+    return execute(RunSpec.from_dict(spec_data),
+                   trace_path=trace_path).to_dict()
 
 
-def run_batch(specs, jobs=1, cache=None, progress=None):
+def trace_path_for(trace_dir, spec):
+    """The JSONL trace file a spec's run writes under ``trace_dir``."""
+    return os.path.join(trace_dir, spec.label().replace("/", "__") + ".jsonl")
+
+
+def run_batch(specs, jobs=1, cache=None, progress=None, trace_dir=None):
     """Execute every spec; return results aligned with the input order.
 
     ``jobs``: worker processes (1 = in-process serial; 0/None = all
     cores).  ``cache``: optional ResultCache consulted before and updated
     after simulation.  ``progress``: optional callable invoked after each
     spec resolves as ``progress(done, total, spec, cached)``.
+    ``trace_dir``: when given, every run writes its JSONL event trace to
+    ``<trace_dir>/<spec label>.jsonl``; traced runs skip cache *reads*
+    (a cache hit would leave no trace behind) but still write results
+    back, since tracing never changes the stats.
     """
     from repro.sim.runner import execute
 
@@ -49,16 +60,25 @@ def run_batch(specs, jobs=1, cache=None, progress=None):
     resolved = {}  # spec -> SimStats
     done = 0
 
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+
     def note(spec, cached):
         nonlocal done
         done += 1
         if progress is not None:
             progress(done, total, spec, cached)
 
+    def trace_path(spec):
+        if trace_dir is None:
+            return None
+        return trace_path_for(trace_dir, spec)
+
     # Unique work list (stable order), minus persistent-cache hits.
     pending = []
     for spec in uniques:
-        stats = cache.get(spec) if cache is not None else None
+        stats = (cache.get(spec)
+                 if cache is not None and trace_dir is None else None)
         if stats is not None:
             resolved[spec] = stats
             note(spec, True)
@@ -68,7 +88,7 @@ def run_batch(specs, jobs=1, cache=None, progress=None):
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(pending) <= 1:
         for spec in pending:
-            stats = execute(spec)
+            stats = execute(spec, trace_path=trace_path(spec))
             if cache is not None:
                 cache.put(spec, stats)
             resolved[spec] = stats
@@ -76,7 +96,8 @@ def run_batch(specs, jobs=1, cache=None, progress=None):
     else:
         ctx = multiprocessing.get_context()
         with ctx.Pool(processes=min(workers, len(pending))) as pool:
-            payloads = [spec.to_dict() for spec in pending]
+            payloads = [(spec.to_dict(), trace_path(spec))
+                        for spec in pending]
             # imap preserves input order, so completion timing cannot
             # reorder results.
             for spec, data in zip(pending,

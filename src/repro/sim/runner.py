@@ -24,6 +24,7 @@ grp-fix   GRP with fixed-size regions only (GRP/Fix)
 
 from repro.compiler.driver import compile_hints
 from repro.mem.space import AddressSpace
+from repro.metrics import TraceSink
 from repro.prefetch.grp import GRPPrefetcher
 from repro.prefetch.pointer import PointerPrefetcher, RecursivePointerPrefetcher
 from repro.prefetch.srp import SRPPrefetcher
@@ -77,13 +78,15 @@ SCHEMES = {
 }
 
 
-def execute(spec):
+def execute(spec, trace_path=None):
     """Run the simulation a :class:`RunSpec` describes; return its RunResult.
 
     This is the engine: RunSpec in, SimStats out.  Everything that
     influences the outcome is read from the spec, so two calls with equal
     specs produce identical results (the batch runner and the persistent
-    cache both rely on this).
+    cache both rely on this).  ``trace_path``, when given, streams the
+    run's structured JSONL event trace there; it is a pure side channel —
+    the returned stats are identical with or without it.
     """
     workload = get_workload(spec.workload)
     try:
@@ -94,11 +97,12 @@ def execute(spec):
         )
     return _simulate(workload, spec.scheme, scheme_spec,
                      spec.machine_config(), spec.mode, spec.policy,
-                     spec.limit_refs, spec.scale, spec.seed)
+                     spec.limit_refs, spec.scale, spec.seed,
+                     trace_path=trace_path)
 
 
 def run_workload(workload, scheme, config=None, mode="real", policy="default",
-                 limit_refs=None, scale=1.0, seed=12345):
+                 limit_refs=None, scale=1.0, seed=12345, trace_path=None):
     """Run one (workload, scheme) simulation; return its SimStats.
 
     Thin shim over :func:`execute`.  ``workload`` may be a name or a
@@ -111,7 +115,7 @@ def run_workload(workload, scheme, config=None, mode="real", policy="default",
         return execute(RunSpec.create(
             workload, scheme, config=config, mode=mode, policy=policy,
             limit_refs=limit_refs, scale=scale, seed=seed,
-        ))
+        ), trace_path=trace_path)
     if not isinstance(workload, Workload):
         raise TypeError("workload must be a name or Workload instance")
     try:
@@ -122,11 +126,11 @@ def run_workload(workload, scheme, config=None, mode="real", policy="default",
         )
     return _simulate(workload, scheme, scheme_spec,
                      config or MachineConfig.scaled(), mode, policy,
-                     limit_refs, scale, seed)
+                     limit_refs, scale, seed, trace_path=trace_path)
 
 
 def _simulate(workload, scheme, scheme_spec, config, mode, policy,
-              limit_refs, scale, seed):
+              limit_refs, scale, seed, trace_path=None):
     space = AddressSpace()
     built = workload.build(space, scale=scale)
     program = built.program.finalize()
@@ -158,11 +162,17 @@ def _simulate(workload, scheme, scheme_spec, config, mode, policy,
     for name, addr in built.pointer_bindings.items():
         interp.bind_pointer(name, addr)
 
-    sim = Simulator(config, space, prefetcher, mode=mode,
-                    hint_table=hint_table)
-    limit = limit_refs if limit_refs is not None else workload.default_refs
-    return sim.run(
-        interp.run(limit=limit),
-        workload=workload.name,
-        scheme=scheme if mode == "real" else "%s/%s" % (scheme, mode),
-    )
+    sink = TraceSink(trace_path) if trace_path is not None else None
+    try:
+        sim = Simulator(config, space, prefetcher, mode=mode,
+                        hint_table=hint_table, trace_sink=sink)
+        limit = (limit_refs if limit_refs is not None
+                 else workload.default_refs)
+        return sim.run(
+            interp.run(limit=limit),
+            workload=workload.name,
+            scheme=scheme if mode == "real" else "%s/%s" % (scheme, mode),
+        )
+    finally:
+        if sink is not None:
+            sink.close()

@@ -9,10 +9,11 @@ class Simulator:
     """Owns the simulated machine for one run."""
 
     def __init__(self, config, space, prefetcher=None, mode="real",
-                 hint_table=None):
+                 hint_table=None, trace_sink=None):
         self.config = config
         self.space = space
-        self.hierarchy = Hierarchy(config, space, prefetcher, mode)
+        self.hierarchy = Hierarchy(config, space, prefetcher, mode,
+                                   trace_sink=trace_sink)
         self.core = Core(config, self.hierarchy, hint_table)
 
     def run(self, events, workload="?", scheme="?", limit_refs=None):

@@ -20,6 +20,7 @@ RESULT_FIELDS = (
     "load_stall_cycles", "l1", "l2", "hier",
     "dram_demand_blocks", "dram_prefetch_blocks", "dram_writeback_blocks",
     "row_hit_rate", "traffic_bytes", "prefetch_accuracy", "prefetcher",
+    "metrics",
 )
 
 
@@ -54,6 +55,9 @@ class SimStats:
             if hierarchy.prefetcher is not None
             else {}
         )
+        # The observability layer's snapshot: timeliness, pollution, DRAM
+        # utilization, MSHR/queue summaries and the interval time series.
+        self.metrics = hierarchy.metrics.snapshot()
 
     # ------------------------------------------------------------------
     def to_dict(self):
@@ -88,6 +92,34 @@ class SimStats:
     @property
     def l2_miss_rate(self):
         return self.l2["miss_rate"]
+
+    # -- metrics accessors (observability layer) -----------------------
+    def _metric(self, group, key, default=0):
+        return self.metrics.get(group, {}).get(key, default)
+
+    @property
+    def timely_prefetches(self):
+        return self._metric("timeliness", "timely")
+
+    @property
+    def late_prefetches(self):
+        return self._metric("timeliness", "late")
+
+    @property
+    def useless_evicted_prefetches(self):
+        return self._metric("timeliness", "useless_evicted")
+
+    @property
+    def never_referenced_prefetches(self):
+        return self._metric("timeliness", "never_referenced")
+
+    @property
+    def pollution_misses(self):
+        return self._metric("pollution", "pollution_misses")
+
+    @property
+    def mean_channel_utilization(self):
+        return self._metric("dram", "mean_channel_utilization", 0.0)
 
     @property
     def l2_demand_misses(self):
@@ -130,6 +162,12 @@ class SimStats:
             "prefetch_accuracy": self.prefetch_accuracy,
             "dram_demand_blocks": self.dram_demand_blocks,
             "dram_prefetch_blocks": self.dram_prefetch_blocks,
+            "timely_prefetches": self.timely_prefetches,
+            "late_prefetches": self.late_prefetches,
+            "useless_evicted_prefetches": self.useless_evicted_prefetches,
+            "never_referenced_prefetches": self.never_referenced_prefetches,
+            "pollution_misses": self.pollution_misses,
+            "mean_channel_utilization": self.mean_channel_utilization,
         }
 
     def __repr__(self):

@@ -1,0 +1,304 @@
+"""Tests for the observability layer: prefetch timeliness, pollution
+attribution, interval time series, structured tracing, and the metrics'
+round-trip through SimStats, JSON, and the persistent result cache."""
+
+import json
+
+import pytest
+
+from repro.mem.cache import Cache
+from repro.metrics import (
+    SAMPLE_COLUMNS,
+    IntervalSeries,
+    TraceSink,
+    read_trace,
+)
+from repro.report.export import SUMMARY_COLUMNS, runs_to_csv
+from repro.sim.batch import run_batch, trace_path_for
+from repro.sim.cache import ResultCache
+from repro.sim.runner import execute, run_workload
+from repro.sim.spec import RunSpec
+from repro.sim.stats import SimStats
+
+FAST = dict(limit_refs=4000)
+
+
+class TestIntervalSeries:
+    def test_due_and_record(self):
+        series = IntervalSeries(("a",), interval=100, max_points=8)
+        assert not series.due(50)
+        assert series.due(100)
+        series.record(100, (7,))
+        assert not series.due(150)
+        assert series.due(200)
+        assert series.points == [[100, 7]]
+
+    def test_decimation_bounds_memory(self):
+        series = IntervalSeries(("a",), interval=10, max_points=8)
+        for i in range(1, 101):
+            now = i * 10
+            if series.due(now):
+                series.record(now, (i,))
+        assert len(series.points) < 8
+        assert series.interval > 10
+
+    def test_decimation_keeps_cumulative_columns_usable(self):
+        # Cumulative columns survive decimation: the retained points are
+        # still monotone totals, so rates can be recovered by differencing.
+        series = IntervalSeries(("total",), interval=1, max_points=4)
+        total = 0
+        for now in range(1, 40):
+            if series.due(now):
+                total += 5
+                series.record(now, (total,))
+        values = [p[1] for p in series.points]
+        assert values == sorted(values)
+
+    def test_snapshot_is_plain_data(self):
+        series = IntervalSeries(("a", "b"), interval=10, max_points=8)
+        series.record(10, (1, 2))
+        snap = series.snapshot()
+        assert snap == json.loads(json.dumps(snap))
+        assert snap["columns"] == ["a", "b"]
+        assert snap["points"] == [[10, 1, 2]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalSeries(("a",), interval=0)
+        with pytest.raises(ValueError):
+            IntervalSeries(("a",), max_points=2)
+
+
+class TestTraceSink:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceSink(str(path)) as sink:
+            sink.emit("pf_issue", 10, block=0x1000)
+            sink.emit("sample", 20.5, mshr=3)
+        events = read_trace(str(path))
+        assert events == [
+            {"ev": "pf_issue", "t": 10, "block": 0x1000},
+            {"ev": "sample", "t": 20.5, "mshr": 3},
+        ]
+        assert sink.events_written == 2
+
+
+def make_tiny_cache():
+    # One set, two ways: evictions are deterministic and easy to stage.
+    return Cache("L2", 128, 2, 64, 8)
+
+
+class TestPollutionAttribution:
+    def test_prefetch_eviction_then_demand_miss_is_pollution(self):
+        cache = make_tiny_cache()
+        cache.fill(0x0)
+        cache.fill(0x40)
+        cache.fill(0x80, prefetched=True)  # evicts LRU 0x0
+        assert cache.stats.prefetch_evictions == 1
+        assert not cache.access(0x0)
+        assert cache.stats.pollution_misses == 1
+
+    def test_demand_eviction_is_not_pollution(self):
+        cache = make_tiny_cache()
+        cache.fill(0x0)
+        cache.fill(0x40)
+        cache.fill(0x80)  # demand fill evicts 0x0
+        assert not cache.access(0x0)
+        assert cache.stats.pollution_misses == 0
+        assert cache.stats.prefetch_evictions == 0
+
+    def test_refill_clears_shadow_entry(self):
+        cache = make_tiny_cache()
+        cache.fill(0x0)
+        cache.fill(0x40)
+        cache.fill(0x80, prefetched=True)  # shadows 0x0
+        cache.fill(0x0)  # back in: pollution attribution is moot
+        cache.invalidate(0x0)
+        assert not cache.access(0x0)
+        assert cache.stats.pollution_misses == 0
+
+    def test_pollution_charged_once(self):
+        cache = make_tiny_cache()
+        cache.fill(0x0)
+        cache.fill(0x40)
+        cache.fill(0x80, prefetched=True)
+        cache.access(0x0)
+        cache.access(0x0)  # second miss to the same block
+        assert cache.stats.pollution_misses == 1
+
+    def test_shadow_is_bounded(self):
+        cache = make_tiny_cache()
+        cache.fill(0x0)
+        cache.fill(0x40)
+        for i in range(2, 50):
+            cache.fill(0x40 * i, prefetched=True)
+        assert len(cache._shadow) <= cache._shadow_capacity
+
+    def test_counters_in_snapshot(self):
+        cache = make_tiny_cache()
+        snap = cache.stats.snapshot()
+        assert snap["pollution_misses"] == 0
+        assert snap["prefetch_evictions"] == 0
+
+
+class RecordingObserver:
+    def __init__(self):
+        self.events = []
+
+    def on_fill(self, cache, block, prefetched):
+        self.events.append(("fill", block, prefetched))
+
+    def on_evict(self, cache, block, prefetched, referenced, by_prefetch):
+        self.events.append(("evict", block, by_prefetch))
+
+    def on_demand_hit(self, cache, block, first_use):
+        self.events.append(("hit", block, first_use))
+
+    def on_demand_miss(self, cache, block, polluted):
+        self.events.append(("miss", block, polluted))
+
+
+class TestCacheObserver:
+    def test_hooks_fire_with_expected_arguments(self):
+        cache = make_tiny_cache()
+        observer = RecordingObserver()
+        cache.observer = observer
+        cache.fill(0x0)
+        cache.fill(0x40, prefetched=True)
+        cache.access(0x40)  # first use of a prefetched line
+        cache.fill(0x80, prefetched=True)  # evicts a victim
+        cache.access(0x200)  # miss
+        kinds = [e[0] for e in observer.events]
+        assert kinds == ["fill", "fill", "hit", "evict", "fill", "miss"]
+        assert ("hit", 0x40, True) in observer.events
+
+    def test_no_observer_is_default(self):
+        assert make_tiny_cache().observer is None
+
+
+class TestTimeliness:
+    @pytest.mark.parametrize("scheme", ["srp", "grp"])
+    def test_classification_partitions_prefetch_fills(self, scheme):
+        stats = run_workload("swim", scheme, **FAST)
+        timeliness = stats.metrics["timeliness"]
+        assert timeliness["prefetch_fills"] == (
+            timeliness["timely"] + timeliness["late"]
+            + timeliness["useless_evicted"] + timeliness["never_referenced"]
+        )
+        assert timeliness["prefetch_fills"] > 0
+
+    def test_stream_buffer_scheme_has_no_l2_prefetch_fills(self):
+        # Stride's stream buffers hold blocks privately (fills_l2=False),
+        # so the L2-level classification is legitimately all-zero.
+        stats = run_workload("swim", "stride", **FAST)
+        assert stats.metrics["timeliness"]["prefetch_fills"] == 0
+
+    def test_timely_prefetches_occur(self):
+        stats = run_workload("swim", "grp", **FAST)
+        assert stats.timely_prefetches > 0
+
+    def test_baseline_has_no_prefetch_activity(self):
+        stats = run_workload("swim", "none", **FAST)
+        assert stats.metrics["timeliness"]["prefetch_fills"] == 0
+        assert stats.pollution_misses == 0
+
+    def test_utilization_in_unit_range(self):
+        stats = run_workload("mcf", "srp", **FAST)
+        dram = stats.metrics["dram"]
+        assert 0.0 < stats.mean_channel_utilization <= 1.0
+        for util in dram["channel_utilization"]:
+            assert 0.0 <= util <= 1.0
+        assert len(dram["channel_utilization"]) == 4
+
+    def test_time_series_sampled(self):
+        stats = run_workload("swim", "grp", **FAST)
+        series = stats.metrics["timeseries"]
+        assert series["columns"] == list(SAMPLE_COLUMNS)
+        assert len(series["points"]) > 0
+        cycles = [p[0] for p in series["points"]]
+        assert cycles == sorted(cycles)
+
+
+class TestMetricsRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        stats = run_workload("vpr", "grp", **FAST)
+        rebuilt = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt.metrics == stats.metrics
+        assert rebuilt.timely_prefetches == stats.timely_prefetches
+        assert rebuilt.pollution_misses == stats.pollution_misses
+        assert rebuilt.mean_channel_utilization == \
+            stats.mean_channel_utilization
+        assert rebuilt.summary() == stats.summary()
+
+    def test_result_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.create("vpr", "srp", **FAST)
+        stats = execute(spec)
+        cache.put(spec, stats)
+        cached = cache.get(spec)
+        assert cached.metrics == stats.metrics
+        assert cached.to_dict() == stats.to_dict()
+
+    def test_stale_entry_without_metrics_is_a_miss(self, tmp_path):
+        # Entries written before the metrics field existed must be
+        # re-simulated, not returned without their metrics.
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.create("vpr", "srp", **FAST)
+        cache.put(spec, execute(spec))
+        path = cache.path_for(spec)
+        payload = json.loads(path.read_text())
+        del payload["stats"]["metrics"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+
+    def test_parallel_batch_carries_metrics(self):
+        specs = [
+            RunSpec.create("vpr", "grp", **FAST),
+            RunSpec.create("swim", "srp", **FAST),
+        ]
+        serial = run_batch(specs, jobs=1)
+        parallel = run_batch(specs, jobs=2)
+        for s, p in zip(serial, parallel):
+            assert s.metrics == p.metrics
+            assert s.metrics["timeliness"]["prefetch_fills"] > 0
+
+
+class TestTracing:
+    def test_trace_file_written_and_consistent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        stats = run_workload("swim", "grp", trace_path=str(path), **FAST)
+        events = read_trace(str(path))
+        assert events, "trace should contain events"
+        kinds = {e["ev"] for e in events}
+        assert kinds <= {"pf_issue", "pf_fill", "pf_drop", "pf_use",
+                         "l2_miss", "evict", "fill", "sample", "summary"}
+        assert events[-1]["ev"] == "summary"
+        assert events[-1]["metrics"] == stats.metrics
+        uses = [e for e in events if e["ev"] == "pf_use"]
+        assert len(uses) == stats.timely_prefetches + stats.late_prefetches
+
+    def test_tracing_does_not_change_results(self, tmp_path):
+        plain = run_workload("vpr", "srp", **FAST)
+        traced = run_workload("vpr", "srp",
+                              trace_path=str(tmp_path / "t.jsonl"), **FAST)
+        assert traced.to_dict() == plain.to_dict()
+
+    def test_batch_trace_dir_writes_per_spec_traces(self, tmp_path):
+        specs = [RunSpec.create("vpr", "srp", **FAST)]
+        cache = ResultCache(tmp_path / "cache")
+        run_batch(specs, jobs=1, cache=cache)  # warm the cache
+        trace_dir = tmp_path / "traces"
+        run_batch(specs, jobs=1, cache=cache, trace_dir=str(trace_dir))
+        expected = trace_path_for(str(trace_dir), specs[0])
+        assert read_trace(expected), "traced rerun must bypass cache reads"
+
+
+class TestExportSchema:
+    def test_summary_covers_the_stable_schema(self):
+        stats = run_workload("vpr", "grp", **FAST)
+        assert set(SUMMARY_COLUMNS) <= set(stats.summary())
+
+    def test_csv_headers_are_the_schema(self):
+        stats = run_workload("vpr", "none", **FAST)
+        header = runs_to_csv([stats]).splitlines()[0]
+        assert header.split(",") == list(SUMMARY_COLUMNS)

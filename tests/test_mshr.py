@@ -57,8 +57,32 @@ class TestBackPressure:
         mshrs = MSHRFile(2)
         mshrs.allocate(0x1000, ready=500, now=0)
         mshrs.allocate(0x2000, ready=300, now=0)
-        assert mshrs.earliest_free(10) == 300
+        assert mshrs.earliest_free(10, record_stall=True) == 300
         assert mshrs.stalls == 1
+
+    def test_probe_does_not_count_a_stall(self):
+        # Regression: the prefetch controller probes earliest_free once
+        # per issue opportunity; a single blocked prefetch used to inflate
+        # the stall counter on every probe.
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x1000, ready=500, now=0)
+        mshrs.allocate(0x2000, ready=300, now=0)
+        for _ in range(5):
+            assert mshrs.earliest_free(10) == 300
+        assert mshrs.stalls == 0
+
+    def test_demand_path_counts_each_stall(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0x1000, ready=500, now=0)
+        mshrs.earliest_free(10, record_stall=True)
+        mshrs.earliest_free(20, record_stall=True)
+        assert mshrs.stalls == 2
+
+    def test_no_stall_recorded_when_free(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x1000, ready=500, now=0)
+        assert mshrs.earliest_free(10, record_stall=True) == 10
+        assert mshrs.stalls == 0
 
     def test_mlp_bounded_by_entries(self):
         """At most `entries` fills can be overlapping at any instant."""

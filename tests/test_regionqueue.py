@@ -119,18 +119,44 @@ class TestOpenPagePreference:
 class TestExplicitBlocks:
     def test_allocate_blocks_sets_named_bits(self):
         queue = make_queue()
-        entry = queue.allocate_blocks([0x1080, 0x10C0], now=0, depth=3)
-        assert entry.candidate_count() == 2
-        assert entry.depth == 3
+        entries = queue.allocate_blocks([0x1080, 0x10C0], now=0, depth=3)
+        assert len(entries) == 1
+        assert entries[0].candidate_count() == 2
+        assert entries[0].depth == 3
 
-    def test_blocks_outside_region_skipped(self):
+    def test_blocks_straddling_regions_split_per_region(self):
+        # Regression: cross-region blocks were silently dropped — only the
+        # first block's aligned region got an entry.
         queue = make_queue()
-        entry = queue.allocate_blocks([0x1080, 0x5000], now=0)
-        assert entry.candidate_count() == 1
+        entries = queue.allocate_blocks([0x1080, 0x5000], now=0)
+        assert len(entries) == 2
+        assert sorted(e.base for e in entries) == [0x1000, 0x5000]
+        assert all(e.candidate_count() == 1 for e in entries)
+        assert queue.region_splits == 1
 
-    def test_all_resident_returns_none(self):
+    def test_split_issues_every_named_block(self):
+        queue = make_queue()
+        queue.allocate_blocks([0x11C0, 0x1200], now=0)  # boundary straddle
+        issued = set()
+        while True:
+            req = queue.pop_candidate(now=10)
+            if req is None:
+                break
+            issued.add(req.block)
+        assert issued == {0x11C0, 0x1200}
+
+    def test_single_region_does_not_count_a_split(self):
+        queue = make_queue()
+        queue.allocate_blocks([0x1080, 0x10C0], now=0)
+        assert queue.region_splits == 0
+
+    def test_all_resident_returns_empty_list(self):
         queue = make_queue(resident=lambda b: True)
-        assert queue.allocate_blocks([0x1080], now=0) is None
+        assert queue.allocate_blocks([0x1080], now=0) == []
+
+    def test_empty_list_returns_empty_list(self):
+        queue = make_queue()
+        assert queue.allocate_blocks([], now=0) == []
 
     def test_depth_rides_into_requests(self):
         queue = make_queue()
@@ -146,3 +172,37 @@ class TestVariableRegionSize:
         assert entry.nblocks == 2
         assert entry.base == 0x1000
         assert entry.candidate_count() == 1
+
+    def test_repeat_miss_matches_small_entry_by_containment(self):
+        # Regression: the repeat-miss path recomputed the region base with
+        # the *caller's* region size, so a default-size repeat miss could
+        # miss (or alias) an entry allocated with a different size and
+        # clear the wrong bitvector bit.
+        queue = make_queue(region=512)
+        entry = queue.allocate_region(0x1040, now=0, region_size=128)
+        same = queue.allocate_region(0x1000, now=1)  # default (512) size
+        assert same is entry
+        assert entry.candidate_count() == 0  # bit 0 cleared, not bit 2
+        assert len(queue) == 1
+
+    def test_repeat_index_derived_from_entry_geometry(self):
+        queue = make_queue(region=512)
+        entry = queue.allocate_region(0x1040, now=0, region_size=128)
+        queue.allocate_region(0x1000, now=1)
+        assert entry.index == 1  # (miss 0 + 1) % entry.nblocks, not % 8
+
+    def test_miss_outside_small_entry_span_allocates_fresh(self):
+        queue = make_queue(region=512)
+        small = queue.allocate_region(0x1040, now=0, region_size=128)
+        other = queue.allocate_region(0x1100, now=1)
+        assert other is not small
+        assert other.base == 0x1000
+        assert other.nblocks == 8
+        assert small.candidate_count() == 1  # untouched
+
+    def test_repeat_miss_into_large_entry_with_small_size(self):
+        queue = make_queue(region=512)
+        entry = queue.allocate_region(0x1000, now=0)
+        same = queue.allocate_region(0x1080, now=1, region_size=128)
+        assert same is entry
+        assert not (entry.bitvec >> 2) & 1

@@ -1,0 +1,118 @@
+"""CI gate: a tiny --metrics sweep that fails on metric-schema drift.
+
+Runs a handful of short simulations across the prefetch schemes, exports
+them through :func:`repro.report.export.runs_to_csv`, and asserts that
+
+* the CSV header is exactly :data:`repro.report.export.SUMMARY_COLUMNS`
+  (downstream notebooks and dashboards key on those names),
+* every run's metrics snapshot carries the expected sections and the
+  timeliness classification partitions the prefetch-fill count, and
+* the metrics survive a JSON + result-cache round trip losslessly.
+
+Exit status is nonzero on any violation, so the CI step fails loudly the
+moment a column is renamed, dropped, or reordered.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_metrics_schema.py
+"""
+
+import csv
+import io
+import json
+import sys
+import tempfile
+
+from repro.report.export import SUMMARY_COLUMNS, runs_to_csv
+from repro.sim.batch import run_batch
+from repro.sim.cache import ResultCache
+from repro.sim.spec import RunSpec
+from repro.sim.stats import SimStats
+
+REFS = 3000
+SWEEP = [
+    ("swim", "none"),
+    ("swim", "srp"),
+    ("swim", "grp"),
+    ("mcf", "grp"),
+]
+
+#: Sections every metrics snapshot must carry, with their required keys.
+METRIC_SECTIONS = {
+    "timeliness": ("prefetch_fills", "timely", "late", "useless_evicted",
+                   "never_referenced"),
+    "pollution": ("pollution_misses", "prefetch_evictions"),
+    "dram": ("channel_busy_cycles", "channel_utilization",
+             "mean_channel_utilization"),
+    "mshr": ("demand_stalls", "merges", "max_sampled_occupancy"),
+    "queue": ("max_sampled_depth", "region_splits"),
+    "timeseries": ("columns", "interval", "points"),
+}
+
+
+def fail(message):
+    print("schema check FAILED: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_csv(runs):
+    text = runs_to_csv(runs)
+    rows = list(csv.reader(io.StringIO(text)))
+    if rows[0] != list(SUMMARY_COLUMNS):
+        fail("CSV header drifted:\n  expected %r\n  got      %r"
+             % (list(SUMMARY_COLUMNS), rows[0]))
+    if len(rows) != len(runs) + 1:
+        fail("expected %d CSV data rows, got %d"
+             % (len(runs), len(rows) - 1))
+    for row in rows[1:]:
+        if len(row) != len(SUMMARY_COLUMNS):
+            fail("ragged CSV row: %r" % (row,))
+
+
+def check_metrics(stats):
+    label = "%s/%s" % (stats.workload, stats.scheme)
+    for section, keys in METRIC_SECTIONS.items():
+        if section not in stats.metrics:
+            fail("%s: metrics missing section %r" % (label, section))
+        for key in keys:
+            if key not in stats.metrics[section]:
+                fail("%s: metrics[%r] missing key %r"
+                     % (label, section, key))
+    t = stats.metrics["timeliness"]
+    parts = t["timely"] + t["late"] + t["useless_evicted"] \
+        + t["never_referenced"]
+    if t["prefetch_fills"] != parts:
+        fail("%s: timeliness classes sum to %d, prefetch_fills is %d"
+             % (label, parts, t["prefetch_fills"]))
+    util = stats.mean_channel_utilization
+    if not 0.0 <= util <= 1.0:
+        fail("%s: mean channel utilization %r out of range" % (label, util))
+
+
+def check_round_trip(specs, runs):
+    for spec, stats in zip(specs, runs):
+        rebuilt = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        if rebuilt.to_dict() != stats.to_dict():
+            fail("%s: JSON round trip is lossy" % spec.label())
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        cache.put(specs[0], runs[0])
+        cached = cache.get(specs[0])
+        if cached is None or cached.to_dict() != runs[0].to_dict():
+            fail("%s: result-cache round trip is lossy" % specs[0].label())
+
+
+def main():
+    specs = [RunSpec.create(bench, scheme, limit_refs=REFS)
+             for bench, scheme in SWEEP]
+    runs = run_batch(specs, jobs=1)
+    check_csv(runs)
+    for stats in runs:
+        check_metrics(stats)
+    check_round_trip(specs, runs)
+    print("metrics schema check passed: %d runs, %d columns"
+          % (len(runs), len(SUMMARY_COLUMNS)))
+
+
+if __name__ == "__main__":
+    main()
