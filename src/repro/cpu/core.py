@@ -15,7 +15,31 @@ Properties captured:
   bounded by the MSHRs in the hierarchy) keep issuing;
 * once the window wraps around to an incomplete load, issue stalls until
   its data returns — the L2-miss serialization that prefetching attacks.
+
+Two replay entry points execute a trace: :meth:`Core.execute` consumes a
+stream of event objects, :meth:`Core.execute_compiled` iterates a
+:class:`~repro.trace.compiled.CompiledTrace`'s columns directly.  They
+issue the identical instruction sequence — the differential tests assert
+their statistics byte-for-byte equal.
 """
+
+from repro.trace.compiled import K_BOUND, K_OPS, K_SETBASE, K_STORE
+from repro.trace.events import (
+    IndirectPrefetch,
+    LoopBound,
+    MemRef,
+    Ops,
+    SetIndirectBase,
+)
+
+
+def _directive_event(kind, a, b, c):
+    """Rebuild a directive event object from its compiled columns."""
+    if kind == K_BOUND:
+        return LoopBound(a)
+    if kind == K_SETBASE:
+        return SetIndirectBase(a, b)
+    return IndirectPrefetch(a, b, c)
 
 
 class Core:
@@ -59,38 +83,68 @@ class Core:
         remaining ``count - d`` ops take ``(count - d) / width``.
         """
         if count <= 32:
+            # The exact per-instruction path, with _issue's body inlined
+            # (same float operations in the same order).
+            ring = self._ring
+            window = self.window
+            head = self._head
+            inv = self.inv_width
+            clock = self._clock
             for _ in range(count):
-                self._issue(1.0)
+                earliest = ring[head]
+                clock = clock + inv
+                if earliest > clock:
+                    clock = earliest
+                ring[head] = clock + 1.0
+                head = head + 1
+                if head == window:
+                    head = 0
+            self._clock = clock
+            self._head = head
+            self.instructions += count
             return
         ring = self._ring
         window = self.window
         head = self._head
         inv = self.inv_width
-        clock = self._clock + count * inv
         base = self._clock
-        for s in range(window):
-            completion = ring[s]
-            if completion <= base:
-                continue
-            d = (s - head) % window
-            if count > d:
-                candidate = completion + (count - d) * inv
-                if candidate > clock:
-                    clock = candidate
+        clock = base + count * inv
+        # When every outstanding completion is already in the past (the
+        # common case between memory bursts) no slot can block the batch.
+        if max(ring) > base:
+            # Only the first min(count, window) slots in ring order from
+            # the head can block ops of this batch (op d cannot pass slot
+            # head+d); walking in that order replaces the per-slot modulo
+            # of a position-order scan.
+            n = count if count < window else window
+            s = head
+            for d in range(n):
+                completion = ring[s]
+                if completion > base:
+                    candidate = completion + (count - d) * inv
+                    if candidate > clock:
+                        clock = candidate
+                s += 1
+                if s == window:
+                    s = 0
         self._clock = clock
         # All slots the batch touched now hold ~1-cycle completions; for
         # batches shorter than the window this is pessimistic by at most
         # count/width cycles on untouched slots' successors.
+        fill = clock + 1.0
         if count >= window:
-            fill = clock + 1.0
-            for s in range(window):
-                ring[s] = fill
+            ring[:] = [fill] * window
             self._head = 0
         else:
-            fill = clock + 1.0
-            for k in range(count):
-                ring[(head + k) % window] = fill
-            self._head = (head + count) % window
+            end = head + count
+            if end <= window:
+                ring[head:end] = [fill] * count
+                self._head = 0 if end == window else end
+            else:
+                ring[head:] = [fill] * (window - head)
+                end -= window
+                ring[:end] = [fill] * end
+                self._head = end
         self.instructions += count
 
     # ------------------------------------------------------------------
@@ -103,13 +157,15 @@ class Core:
         """
         refs = 0
         hierarchy = self.hierarchy
+        access = hierarchy.access
         table = self.hint_table
+        inv_width = self.inv_width
         for event in events:
-            kind = type(event).__name__
-            if kind == "MemRef":
+            etype = event.__class__
+            if etype is MemRef:
                 hint = table.get(event.ref_id) if table is not None else None
                 issue_at = max(self._clock, self._ring[self._head])
-                ready = hierarchy.access(
+                ready = access(
                     event.addr, issue_at,
                     is_store=event.is_store,
                     ref_id=event.ref_id, hint=hint,
@@ -117,17 +173,190 @@ class Core:
                 latency = ready - issue_at
                 before = self._clock
                 self._issue(latency)
-                self.load_stall_cycles += max(0.0, self._clock - before - self.inv_width)
+                self.load_stall_cycles += max(0.0, self._clock - before - inv_width)
                 refs += 1
                 if limit_refs is not None and refs >= limit_refs:
                     break
-            elif kind == "Ops":
+            elif etype is Ops:
                 self._issue_ops(event.count)
             else:
                 # Software directive: one instruction of overhead plus the
                 # message to the prefetch engine.
                 completion = self._issue(1.0)
                 hierarchy.directive(event, completion)
+        return self.cycles
+
+    def execute_compiled(self, trace, limit_refs=None):
+        """Run a :class:`~repro.trace.compiled.CompiledTrace`.
+
+        Issues the identical instruction sequence :meth:`execute` would
+        for the same events, but iterates the trace's columns directly —
+        no per-event objects, no attribute loads, hint lookups resolved
+        per static reference id — with the issue-ring arithmetic and the
+        hierarchy's L1 probe inlined into the loop (each replicating the
+        out-of-line code operation for operation; the differential tests
+        compare the resulting statistics byte for byte).
+
+        The inline L1 path only runs for configurations whose ``access``
+        takes no per-reference detours: reference runs, TLB-enabled
+        configs, and trace-sink runs take the out-of-line ``access``.
+        """
+        hierarchy = self.hierarchy
+        hints = trace.resolve_hints(self.hint_table)
+        ref_names = trace.ref_names
+        kinds = trace.kinds
+        f0, f1, f2 = trace.f0, trace.f1, trace.f2
+        window = self.window
+        inv = self.inv_width
+        ring = self._ring
+        clock = self._clock
+        head = self._head
+        instructions = self.instructions
+        load_stall = self.load_stall_cycles
+        refs = 0
+
+        general = (
+            hierarchy.reference
+            or hierarchy.tlb is not None
+            or hierarchy.metrics.sink is not None
+        )
+        access = hierarchy.access
+        if not general:
+            l1 = hierarchy.l1
+            l1_index = l1._index
+            l1_sets = l1._sets
+            l1_shift = l1._block_shift
+            l1_set_mask = l1._set_mask
+            l1_stats = l1.stats
+            l1_shadow = l1._shadow
+            l1_latency = l1.latency
+            block_mask = hierarchy._block_mask
+            hstats = hierarchy.stats
+            perfect_l1 = hierarchy._perfect_l1
+            metrics = hierarchy.metrics
+            series = metrics.series
+            issue_prefetches = hierarchy.controller.issue_prefetches
+            has_candidates = hierarchy._has_candidates
+            miss_path = hierarchy.access_after_l1_miss
+
+        try:
+            for i, kind in enumerate(kinds):
+                if kind <= K_STORE:
+                    is_store = kind == K_STORE
+                    e = ring[head]
+                    # max(clock, ring[head]): first argument wins ties.
+                    now = clock if clock >= e else e
+                    if general:
+                        ridx = f0[i]
+                        ready = access(
+                            f1[i], now, is_store=is_store,
+                            ref_id=ref_names[ridx], hint=hints[ridx],
+                        )
+                    elif perfect_l1:
+                        if is_store:
+                            hstats.stores += 1
+                        else:
+                            hstats.loads += 1
+                        ready = now + l1_latency
+                    else:
+                        # Hierarchy.access, inlined up to the L1 probe.
+                        if is_store:
+                            hstats.stores += 1
+                        else:
+                            hstats.loads += 1
+                        if has_candidates is not None and has_candidates():
+                            issue_prefetches(now)
+                        if now >= series._next:
+                            metrics.tick(now)
+                        block = f1[i] & block_mask
+                        line = l1_index.get(block)
+                        if line is not None:
+                            # Cache.access_block hit path, inlined.
+                            l1_stats.demand_accesses += 1
+                            lines = l1_sets[
+                                (block >> l1_shift) & l1_set_mask]
+                            if lines[-1] is not line:
+                                lines.remove(line)
+                                lines.append(line)
+                            if not line.referenced:
+                                line.referenced = True
+                                l1_stats.useful_prefetches += 1
+                            if is_store:
+                                line.dirty = True
+                            l1_stats.demand_hits += 1
+                            ready = now + l1_latency
+                        else:
+                            l1_stats.demand_accesses += 1
+                            l1_stats.demand_misses += 1
+                            if l1_shadow and \
+                                    l1_shadow.pop(block, None) is not None:
+                                l1_stats.pollution_misses += 1
+                            ridx = f0[i]
+                            ready = miss_path(
+                                block, f1[i], now, is_store,
+                                ref_names[ridx], hints[ridx],
+                            )
+                    latency = ready - now
+                    # _issue(latency), inlined; `before` is the pre-issue
+                    # clock (ring[head] is untouched by the access above).
+                    before = clock
+                    c = clock + inv
+                    if e > c:
+                        c = e
+                    clock = c
+                    ring[head] = c + latency
+                    head += 1
+                    if head == window:
+                        head = 0
+                    instructions += 1
+                    s = clock - before - inv
+                    if s > 0.0:
+                        load_stall += s
+                    refs += 1
+                    if limit_refs is not None and refs >= limit_refs:
+                        break
+                elif kind == K_OPS:
+                    count = f0[i]
+                    if count <= 32:
+                        # _issue_ops' exact small-batch path, inlined.
+                        for _ in range(count):
+                            e = ring[head]
+                            clock = clock + inv
+                            if e > clock:
+                                clock = e
+                            ring[head] = clock + 1.0
+                            head += 1
+                            if head == window:
+                                head = 0
+                        instructions += count
+                    else:
+                        self._clock = clock
+                        self._head = head
+                        self.instructions = instructions
+                        self._issue_ops(count)
+                        clock = self._clock
+                        head = self._head
+                        instructions = self.instructions
+                else:
+                    event = _directive_event(kind, f0[i], f1[i], f2[i])
+                    # _issue(1.0), inlined.
+                    e = ring[head]
+                    c = clock + inv
+                    if e > c:
+                        c = e
+                    clock = c
+                    completion = c + 1.0
+                    ring[head] = completion
+                    head += 1
+                    if head == window:
+                        head = 0
+                    instructions += 1
+                    hierarchy.directive(event, completion)
+        finally:
+            self._clock = clock
+            self._head = head
+            self.instructions = instructions
+            self.load_stall_cycles = load_stall
         return self.cycles
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ invocation reproduces the same tables without re-simulating.
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -35,6 +36,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentContext
 from repro.sim.cache import ResultCache
+from repro.trace.store import TRACE_CACHE_ENV, reset_default_store
 
 RUNNERS = {
     "fig1": lambda ctx: [fig1.run(ctx)],
@@ -101,6 +103,14 @@ def main(argv=None):
     names = args.experiments or list(RUNNERS)
     if args.metrics and "metrics" not in names:
         names.append("metrics")
+    if args.no_cache:
+        # Disable the on-disk compiled-trace cache too, and via the
+        # environment so batch worker processes inherit the setting; the
+        # bounded in-process store still shares traces between schemes
+        # within one process, which is deliberate (it is not persistent
+        # state, so the run is still "cold" in the cache sense).
+        os.environ[TRACE_CACHE_ENV] = "off"
+        reset_default_store()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     ctx = ExperimentContext(limit_refs=args.refs, jobs=args.jobs,
                             cache=cache, trace_dir=args.trace)

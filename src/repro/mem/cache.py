@@ -6,13 +6,15 @@ CPU references them explicitly (Section 3.1).  In an ``n``-way set, useless
 prefetches can therefore displace at most ``1/n`` of the useful data.
 
 Each set is an ordered list of :class:`CacheLine`, index 0 = LRU, last =
-MRU.  Associativities in this system are small (2 or 4 way), so linear scans
-are cheap and keep the code obvious.
+MRU.  A cache-wide tag index (``{block: CacheLine}``) makes membership
+tests O(1) — the simulate loop probes residency far more often than it
+hits — while the per-set lists, at most ``assoc`` (2 or 4) entries long,
+keep the replacement order obvious.
 """
 
 from collections import OrderedDict
 
-from repro.mem.layout import block_base, is_power_of_two
+from repro.mem.layout import is_power_of_two
 
 
 class CacheLine:
@@ -66,10 +68,23 @@ class CacheStats:
         return self.demand_misses / self.demand_accesses
 
     def prefetch_accuracy(self, resident_unreferenced=0):
-        """Useful prefetches / all prefetch fills, counting stragglers useless."""
-        if self.prefetch_fills == 0:
+        """Fraction of prefetched blocks the CPU referenced.
+
+        The denominator is the *decided* prefetches — useful plus evicted
+        useless — plus ``resident_unreferenced``, the caller's count of
+        prefetched lines still resident and untouched (see
+        :meth:`Cache.resident_unreferenced_prefetches`).  Passing that
+        count folds the stragglers in as useless, which is the paper's
+        end-of-run definition; at that point the denominator equals
+        ``prefetch_fills`` exactly.  With the default of 0, accuracy is
+        over decided prefetches only — the mid-run reading, where
+        still-resident lines haven't had their chance yet.
+        """
+        decided = self.useful_prefetches + self.useless_evicted_prefetches
+        denominator = decided + resident_unreferenced
+        if denominator == 0:
             return 0.0
-        return self.useful_prefetches / self.prefetch_fills
+        return self.useful_prefetches / denominator
 
     def snapshot(self):
         """Return a plain dict of the counters (for reports and tests)."""
@@ -113,6 +128,12 @@ class Cache:
         self._sets = [[] for _ in range(self.num_sets)]
         self._set_mask = self.num_sets - 1
         self._block_shift = block_size.bit_length() - 1
+        self._block_mask = ~(block_size - 1)
+        #: Tag index: {resident block -> its CacheLine}.  Makes membership
+        #: (the common case on the miss-heavy paths: ``contains``, fills,
+        #: miss detection) one dict probe; the per-set LRU lists are only
+        #: scanned on hits, where they hold at most ``assoc`` lines.
+        self._index = {}
         self.stats = CacheStats()
         #: Shadow victim set for pollution attribution: blocks most
         #: recently evicted *by a prefetch fill*.  A demand miss that hits
@@ -133,14 +154,6 @@ class Cache:
     def _set_index(self, block):
         return (block >> self._block_shift) & self._set_mask
 
-    def _find(self, block):
-        """Return (set, position) of ``block``, or (set, -1) when absent."""
-        lines = self._sets[self._set_index(block)]
-        for pos, line in enumerate(lines):
-            if line.block == block:
-                return lines, pos
-        return lines, -1
-
     # ------------------------------------------------------------------
     def access(self, addr, is_store=False):
         """Demand access to the block containing ``addr``.
@@ -150,34 +163,54 @@ class Cache:
         counted but the fill is the caller's job (via :meth:`fill`), because
         fill timing depends on the memory system.
         """
-        block = block_base(addr, self.block_size)
-        self.stats.demand_accesses += 1
-        lines, pos = self._find(block)
-        if pos < 0:
-            self.stats.demand_misses += 1
+        return self.access_block(addr & self._block_mask, is_store=is_store)
+
+    def access_block(self, block, is_store=False):
+        """:meth:`access` for callers that already hold the block base."""
+        stats = self.stats
+        stats.demand_accesses += 1
+        line = self._index.get(block)
+        if line is None:
+            stats.demand_misses += 1
             polluted = self._shadow.pop(block, None) is not None
             if polluted:
-                self.stats.pollution_misses += 1
+                stats.pollution_misses += 1
             if self.observer is not None:
                 self.observer.on_demand_miss(self, block, polluted)
             return False
-        line = lines.pop(pos)
-        lines.append(line)  # promote to MRU
+        lines = self._sets[(block >> self._block_shift) & self._set_mask]
+        if lines[-1] is not line:
+            lines.remove(line)
+            lines.append(line)  # promote to MRU
         first_use = not line.referenced
         if first_use:
             line.referenced = True
-            self.stats.useful_prefetches += 1
+            stats.useful_prefetches += 1
         if is_store:
             line.dirty = True
-        self.stats.demand_hits += 1
+        stats.demand_hits += 1
         if self.observer is not None:
             self.observer.on_demand_hit(self, block, first_use)
         return True
 
     def contains(self, addr):
         """Return True when ``addr``'s block is resident.  No side effects."""
-        _, pos = self._find(block_base(addr, self.block_size))
-        return pos >= 0
+        return (addr & self._block_mask) in self._index
+
+    def contains_block(self, block):
+        """:meth:`contains` for callers that already hold the block base."""
+        return block in self._index
+
+    @property
+    def resident_map(self):
+        """Live mapping whose keys are the resident block addresses.
+
+        Residency-probe-heavy callers (the prefetch queues test every
+        block of a region at allocation) use ``block in resident_map``
+        directly instead of a :meth:`contains_block` call per block.
+        Callers must treat the mapping as read-only.
+        """
+        return self._index
 
     def fill(self, addr, prefetched=False, is_store=False):
         """Install the block containing ``addr``.
@@ -187,40 +220,47 @@ class Cache:
         a dirty line was displaced (the caller issues the writeback), else
         None.  A prefetch fill of an already-resident block is squashed.
         """
-        block = block_base(addr, self.block_size)
-        lines, pos = self._find(block)
-        if pos >= 0:
+        block = addr & self._block_mask
+        index = self._index
+        existing = index.get(block)
+        if existing is not None:
             if prefetched:
                 # Redundant prefetch: block already arrived (e.g. via a
                 # demand miss that raced the prefetch).  Nothing to do.
                 self.stats.prefetch_hits_squashed += 1
                 return None
-            line = lines.pop(pos)
-            lines.append(line)
+            lines = self._sets[(block >> self._block_shift) & self._set_mask]
+            if lines[-1] is not existing:
+                lines.remove(existing)
+                lines.append(existing)
             if is_store:
-                line.dirty = True
+                existing.dirty = True
             return None
+        stats = self.stats
+        shadow = self._shadow
+        lines = self._sets[(block >> self._block_shift) & self._set_mask]
         writeback = None
         if len(lines) >= self.assoc:
             victim = lines.pop(0)  # LRU
+            del index[victim.block]
             if victim.prefetched and not victim.referenced:
-                self.stats.useless_evicted_prefetches += 1
+                stats.useless_evicted_prefetches += 1
             if prefetched:
                 # Shadow the victim: a later demand miss to it is cache
                 # pollution chargeable to this prefetch fill.
-                self.stats.prefetch_evictions += 1
-                self._shadow[victim.block] = True
-                if len(self._shadow) > self._shadow_capacity:
-                    self._shadow.popitem(last=False)
+                stats.prefetch_evictions += 1
+                shadow[victim.block] = True
+                if len(shadow) > self._shadow_capacity:
+                    shadow.popitem(last=False)
             if victim.dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
                 writeback = victim.block
             if self.observer is not None:
                 self.observer.on_evict(self, victim.block, victim.prefetched,
                                        victim.referenced, prefetched)
         # The block is resident again: any pending pollution attribution
         # against it is moot.
-        self._shadow.pop(block, None)
+        shadow.pop(block, None)
         line = CacheLine(block, prefetched=prefetched)
         if is_store:
             line.dirty = True
@@ -228,19 +268,64 @@ class Cache:
             lines.insert(0, line)  # LRU position: pollution control
         else:
             lines.append(line)  # MRU
+        index[block] = line
         if prefetched:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         if self.observer is not None:
             self.observer.on_fill(self, block, prefetched)
         return writeback
 
+    def fill_prefetch_block(self, block):
+        """:meth:`fill` specialized to ``(block, prefetched=True)``.
+
+        Replicates the generic fill's semantics for the prefetch case
+        operation for operation (squash when resident, shadow the victim,
+        LRU/MRU insert per policy) with the demand-only branches removed;
+        the prefetch fill path runs this once per issued prefetch.
+        """
+        index = self._index
+        if block in index:
+            self.stats.prefetch_hits_squashed += 1
+            return None
+        stats = self.stats
+        shadow = self._shadow
+        lines = self._sets[(block >> self._block_shift) & self._set_mask]
+        writeback = None
+        if len(lines) >= self.assoc:
+            victim = lines.pop(0)  # LRU
+            del index[victim.block]
+            if victim.prefetched and not victim.referenced:
+                stats.useless_evicted_prefetches += 1
+            stats.prefetch_evictions += 1
+            shadow[victim.block] = True
+            if len(shadow) > self._shadow_capacity:
+                shadow.popitem(last=False)
+            if victim.dirty:
+                stats.writebacks += 1
+                writeback = victim.block
+            if self.observer is not None:
+                self.observer.on_evict(self, victim.block, victim.prefetched,
+                                       victim.referenced, True)
+        if shadow:
+            shadow.pop(block, None)
+        line = CacheLine(block, prefetched=True)
+        if self.prefetch_insert == "lru":
+            lines.insert(0, line)  # LRU position: pollution control
+        else:
+            lines.append(line)  # MRU
+        index[block] = line
+        stats.prefetch_fills += 1
+        if self.observer is not None:
+            self.observer.on_fill(self, block, True)
+        return writeback
+
     def invalidate(self, addr):
         """Drop ``addr``'s block if resident; returns True if it was."""
-        block = block_base(addr, self.block_size)
-        lines, pos = self._find(block)
-        if pos < 0:
+        block = addr & self._block_mask
+        line = self._index.pop(block, None)
+        if line is None:
             return False
-        lines.pop(pos)
+        self._sets[(block >> self._block_shift) & self._set_mask].remove(line)
         return True
 
     def resident_blocks(self):
@@ -259,4 +344,4 @@ class Cache:
         return count
 
     def __len__(self):
-        return sum(len(lines) for lines in self._sets)
+        return len(self._index)

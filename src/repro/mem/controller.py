@@ -50,6 +50,10 @@ class MemoryController:
         self.fill_prefetch = None
         #: Installed by the hierarchy: is_resident(block) -> bool.
         self.is_resident = None
+        #: Optional live container of resident blocks (the L2's
+        #: resident_map); when installed it replaces the is_resident call
+        #: per candidate with an ``in`` test.
+        self.resident_map = None
         #: Installed by the hierarchy: the shared L2 MSHR file.  The paper
         #: is explicit that "the MSHRs track all outstanding accesses,
         #: regardless of type" -- prefetches occupy MSHRs too, which is
@@ -71,6 +75,29 @@ class MemoryController:
         #: loop probes a held candidate again on every later call, so the
         #: blocked counter only advances when a *different* request blocks.
         self._last_blocked_mshr = None
+        #: Blocked-issue cache.  While a region queue's head candidate is
+        #: push-back-held, its channel/demand earliest-issue bound is
+        #: remembered so the per-access catch-up call skips the pop /
+        #: residency / channel-probe / push-back cycle.  Every component
+        #: of the cached bound (the request's queue time, its channel's
+        #: free time, the demand-busy watermark) only moves later as the
+        #: simulation advances, so no probe at ``now <= _blocked_until``
+        #: can issue; the MSHR free-at bound is deliberately *excluded*
+        #: because MSHR occupancy is not monotone (a lazy reclaim can
+        #: free entries early).  -1.0 means inactive.  The hierarchy
+        #: clears the cache when a demand fill makes ``_held_block``
+        #: resident, since the next probe must then drop the candidate
+        #: and look at the one behind it.  A skipped probe is not quite
+        #: side-effect free: it would reclaim completed MSHR entries at
+        #: the held candidate's (possibly future) earliest-issue time, so
+        #: the gate replicates that reclaim from the held request's
+        #: remembered queue time and channel.  Disabled (never armed) for
+        #: reference runs.
+        self._blocked_until = -1.0
+        self._held_block = -1
+        self._held_queued_at = 0.0
+        self._held_ch = 0
+        self._cache_blocked = True
 
     # ------------------------------------------------------------------
     def demand_fetch(self, block, now):
@@ -96,45 +123,160 @@ class MemoryController:
         ``budget`` bounds work per call so a pathological queue cannot stall
         the simulator; any remainder issues on the next call.
         """
-        if self.prefetcher is None:
+        prefetcher = self.prefetcher
+        if prefetcher is None:
             return
+        if now <= self._blocked_until:
+            # The held head candidate cannot issue before the cached
+            # bound (see __init__): the probe below would pop it, find
+            # an earliest-issue time >= now, and push it straight back.
+            # Replicate the probe's one side effect -- the lazy MSHR
+            # reclaim at the candidate's earliest-issue time, which can
+            # run ahead of ``now`` and free entries a later demand miss
+            # would otherwise stall on.
+            mshrs = self.mshrs
+            if mshrs is not None:
+                earliest = self._held_queued_at
+                free = self.dram._channel_free[self._held_ch]
+                if free > earliest:
+                    earliest = free
+                if self.demand_busy_until > earliest:
+                    earliest = self.demand_busy_until
+                if earliest >= mshrs._min_ready:
+                    mshrs._reclaim(earliest)
+            return
+        # Called before every demand access, but the queue is empty for
+        # long stretches on most schemes: bail before any of the
+        # candidate / channel-idle / MSHR bookkeeping below.  Sources
+        # without the probe (duck-typed test doubles) are assumed ready.
+        probe = getattr(prefetcher, "has_candidates", None)
+        if probe is not None and not probe():
+            return
+        self._blocked_until = -1.0
+        dram = self.dram
+        mshrs = self.mshrs
+        is_resident = self.is_resident
+        resident_map = self.resident_map
+        metrics = self.metrics
+        fill_prefetch = self.fill_prefetch
+        # Engines exposing a region ``queue`` delegate pop/push to it
+        # verbatim; binding the queue's methods collapses the delegation
+        # on the hottest call of the loop.
+        queue = getattr(prefetcher, "queue", None)
+        if queue is not None:
+            pop_candidate = queue.pop_candidate
+            push_back = queue.push_back
+        else:
+            pop_candidate = prefetcher.pop_candidate
+            push_back = prefetcher.push_back
+        # DRAM geometry and channel state, denormalized through the loop.
+        # The transfer below replicates DRAMSystem.access(kind="prefetch")
+        # operation-for-operation (including max() tie direction).
+        dram_cfg = dram.config
+        channel_free = dram._channel_free
+        open_rows = dram._open_rows
+        busy_cycles = dram.channel_busy_cycles
+        blk_shift = dram._block_shift
+        n_channels = dram._channels
+        n_banks = dram._banks
+        blocks_per_row = dram._blocks_per_row
+        row_hit_latency = dram_cfg.row_hit_latency
+        row_miss_latency = dram_cfg.row_miss_latency
+        transfer_cycles = dram_cfg.transfer_cycles
+        dstats = dram.stats
+        if mshrs is not None:
+            mshr_inflight = mshrs._inflight
+            mshr_capacity = mshrs.num_entries
         issued = 0
         while issued < budget:
-            request = self.prefetcher.pop_candidate(now, self.dram)
+            request = pop_candidate(now, dram)
             if request is None:
                 break
             block = request.block
-            if self.is_resident is not None and self.is_resident(block):
+            if (block in resident_map) if resident_map is not None \
+                    else (is_resident is not None and is_resident(block)):
                 self.prefetches_dropped_resident += 1
-                if self.metrics is not None:
-                    self.metrics.on_prefetch_dropped(request, now)
-                self.prefetcher.on_candidate_dropped(request)
+                if metrics is not None:
+                    metrics.on_prefetch_dropped(request, now)
+                prefetcher.on_candidate_dropped(request)
                 continue
-            earliest = max(request.queued_at, self.dram.channel_free_at(block))
+            nblk = block >> blk_shift
+            ch = nblk % n_channels
+            # max(queued_at, channel_free_at): first argument wins ties.
+            earliest = request.queued_at
+            free = channel_free[ch]
+            if free > earliest:
+                earliest = free
             # No prefetch while a demand miss is outstanding.
             if self.demand_busy_until > earliest:
                 earliest = self.demand_busy_until
-            if self.mshrs is not None:
-                free_at = self.mshrs.earliest_free(earliest)
-                if free_at > earliest:
-                    if request is not self._last_blocked_mshr:
-                        self.prefetches_blocked_mshr += 1
-                        self._last_blocked_mshr = request
-                    earliest = free_at
+            # The bound so far is monotone in simulation state; the MSHR
+            # adjustment below is not (see the blocked-issue cache notes).
+            monotone_earliest = earliest
+            if mshrs is not None:
+                # MSHRFile.earliest_free(earliest), inlined (no stall
+                # recording on the speculative prefetch probe).
+                if earliest >= mshrs._min_ready:
+                    mshrs._reclaim(earliest)
+                if len(mshr_inflight) >= mshr_capacity:
+                    free_at = min(mshr_inflight.values())
+                    if free_at > earliest:
+                        if request is not self._last_blocked_mshr:
+                            self.prefetches_blocked_mshr += 1
+                            self._last_blocked_mshr = request
+                        earliest = free_at
             if earliest >= now:
                 # No idle issue slot (channel or MSHR) before `now`; hold
                 # the candidate (and everything behind it) for later.
-                self.prefetcher.push_back(request)
+                push_back(request)
+                if queue is not None and self._cache_blocked:
+                    # Region queues return the held candidate verbatim on
+                    # the next pop (head-stable), so the probe can be
+                    # skipped outright until the monotone bound expires.
+                    # Engines without a region queue (stream buffers) may
+                    # retire pending candidates behind the held one, so
+                    # they are probed every time.
+                    self._blocked_until = monotone_earliest
+                    self._held_block = block
+                    self._held_queued_at = request.queued_at
+                    self._held_ch = ch
                 break
-            ready = self.dram.access(block, earliest, kind="prefetch")
-            if self.mshrs is not None:
-                self.mshrs.allocate(block, ready, earliest)
+            # DRAMSystem.access(block, earliest, kind="prefetch"), inlined.
+            per = nblk // n_channels // blocks_per_row
+            bank = per % n_banks
+            row = per // n_banks
+            start = channel_free[ch]
+            if earliest >= start:
+                start = earliest
+            bank_rows = open_rows[ch]
+            if bank_rows[bank] == row:
+                latency = row_hit_latency
+                dstats.row_hits += 1
+            else:
+                latency = row_miss_latency
+                dstats.row_misses += 1
+                bank_rows[bank] = row
+            channel_free[ch] = start + transfer_cycles
+            busy_cycles[ch] += transfer_cycles
+            dstats.prefetch_blocks += 1
+            ready = start + latency
+            if mshrs is not None:
+                # MSHRFile.allocate(block, ready, earliest), inlined.
+                if earliest >= mshrs._min_ready:
+                    mshrs._reclaim(earliest)
+                if len(mshr_inflight) >= mshr_capacity:
+                    raise RuntimeError(
+                        "MSHR overflow: allocate without a free entry")
+                mshr_inflight[block] = ready
+                if ready < mshrs._min_ready:
+                    mshrs._min_ready = ready
+                mshrs.allocations += 1
             self.prefetches_issued += 1
             issued += 1
-            if self.metrics is not None:
-                self.metrics.on_prefetch_issue(request, earliest, ready)
-            if self.fill_prefetch is not None:
-                self.fill_prefetch(request, ready)
+            if metrics is not None:
+                metrics.on_prefetch_issue(request, earliest, ready)
+            if fill_prefetch is not None:
+                fill_prefetch(request, ready)
 
     def drain(self, now):
         """Issue everything issuable by ``now`` (used at simulation end)."""

@@ -87,6 +87,11 @@ class DRAMSystem:
             [None] * cfg.banks_per_channel for _ in range(cfg.channels)
         ]
         self._block_shift = cfg.block_size.bit_length() - 1
+        # Geometry constants, denormalized out of the config: the address
+        # decomposition runs per transfer and per row-open probe.
+        self._channels = cfg.channels
+        self._banks = cfg.banks_per_channel
+        self._blocks_per_row = cfg.row_size // cfg.block_size
         #: Cumulative cycles each channel spent transferring data — the
         #: numerator of per-channel utilization (busy / elapsed cycles).
         self.channel_busy_cycles = [0] * cfg.channels
@@ -97,37 +102,39 @@ class DRAMSystem:
     # ------------------------------------------------------------------
     def channel_of(self, block_addr):
         """Channel serving ``block_addr`` (block-interleaved)."""
-        return (block_addr >> self._block_shift) % self.config.channels
+        return (block_addr >> self._block_shift) % self._channels
 
     def bank_of(self, block_addr):
         """Bank within the channel serving ``block_addr``."""
-        blocks_per_row = self.config.row_size // self.config.block_size
         return (
-            (block_addr >> self._block_shift) // self.config.channels
-            // blocks_per_row
-        ) % self.config.banks_per_channel
+            (block_addr >> self._block_shift) // self._channels
+            // self._blocks_per_row
+        ) % self._banks
 
     def row_of(self, block_addr):
         """Row id of ``block_addr`` within its bank."""
-        blocks_per_row = self.config.row_size // self.config.block_size
         return (
-            (block_addr >> self._block_shift) // self.config.channels
-            // blocks_per_row // self.config.banks_per_channel
+            (block_addr >> self._block_shift) // self._channels
+            // self._blocks_per_row // self._banks
         )
 
     def row_is_open(self, block_addr):
         """True when ``block_addr`` would hit its bank's open row buffer."""
-        ch = self.channel_of(block_addr)
-        bank = self.bank_of(block_addr)
-        return self._open_rows[ch][bank] == self.row_of(block_addr)
+        nblk = block_addr >> self._block_shift
+        per = nblk // self._channels // self._blocks_per_row
+        return (
+            self._open_rows[nblk % self._channels][per % self._banks]
+            == per // self._banks
+        )
 
     def channel_free_at(self, block_addr):
         """Cycle at which the channel serving ``block_addr`` next frees up."""
-        return self._channel_free[self.channel_of(block_addr)]
+        return self._channel_free[
+            (block_addr >> self._block_shift) % self._channels]
 
     def channel_idle(self, block_addr, now):
         """True when ``block_addr``'s channel is idle at cycle ``now``."""
-        return self._channel_free[self.channel_of(block_addr)] <= now
+        return self.channel_free_at(block_addr) <= now
 
     # ------------------------------------------------------------------
     # Access
@@ -141,25 +148,33 @@ class DRAMSystem:
         or row-miss access latency.
         """
         cfg = self.config
-        ch = self.channel_of(block_addr)
-        bank = self.bank_of(block_addr)
-        row = self.row_of(block_addr)
-        start = max(now, self._channel_free[ch])
-        if self._open_rows[ch][bank] == row:
+        stats = self.stats
+        nblk = block_addr >> self._block_shift
+        ch = nblk % self._channels
+        per = nblk // self._channels // self._blocks_per_row
+        bank = per % self._banks
+        row = per // self._banks
+        # Ties replicate max(now, free) exactly (first argument wins), so
+        # the int-vs-float type of the returned cycle never changes.
+        start = self._channel_free[ch]
+        if now >= start:
+            start = now
+        bank_rows = self._open_rows[ch]
+        if bank_rows[bank] == row:
             latency = cfg.row_hit_latency
-            self.stats.row_hits += 1
+            stats.row_hits += 1
         else:
             latency = cfg.row_miss_latency
-            self.stats.row_misses += 1
-            self._open_rows[ch][bank] = row
+            stats.row_misses += 1
+            bank_rows[bank] = row
         self._channel_free[ch] = start + cfg.transfer_cycles
         self.channel_busy_cycles[ch] += cfg.transfer_cycles
         if kind == "demand":
-            self.stats.demand_blocks += 1
+            stats.demand_blocks += 1
         elif kind == "prefetch":
-            self.stats.prefetch_blocks += 1
+            stats.prefetch_blocks += 1
         elif kind == "writeback":
-            self.stats.writeback_blocks += 1
+            stats.writeback_blocks += 1
         else:
             raise ValueError("unknown access kind %r" % kind)
         return start + latency

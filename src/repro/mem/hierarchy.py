@@ -24,13 +24,15 @@ prefetch hides only part of the miss (these show up in
 ``stats.late_prefetch_hits``).
 """
 
+import heapq
+
 from repro.mem.cache import Cache
 from repro.mem.controller import MemoryController
 from repro.mem.dram import DRAMSystem
-from repro.mem.layout import block_base
 from repro.mem.mshr import MSHRFile
 from repro.mem.tlb import TLB
 from repro.metrics import MetricsCollector
+from repro.prefetch.base import Prefetcher
 
 
 class HierarchyStats:
@@ -55,13 +57,16 @@ class Hierarchy:
     """L1 + L2 + MSHRs + memory controller + DRAM, with prefetcher hooks."""
 
     def __init__(self, config, space, prefetcher=None, mode="real",
-                 trace_sink=None):
+                 trace_sink=None, reference=False):
         if mode not in ("real", "perfect_l1", "perfect_l2"):
             raise ValueError("unknown hierarchy mode %r" % mode)
         self.config = config
         self.space = space
         self.mode = mode
         self.block_size = config.block_size
+        self._block_mask = ~(config.block_size - 1)
+        self._perfect_l1 = mode == "perfect_l1"
+        self._perfect_l2 = mode == "perfect_l2"
         self.l1 = Cache(
             "L1D", config.l1_size, config.l1_assoc, config.block_size,
             config.l1_latency,
@@ -74,11 +79,33 @@ class Hierarchy:
         self.dram = DRAMSystem(config.dram)
         self.controller = MemoryController(self.dram, prefetcher)
         self.controller.fill_prefetch = self._fill_prefetch
-        self.controller.is_resident = self.l2.contains
+        self.controller.is_resident = self.l2.contains_block
+        self.controller.resident_map = self.l2.resident_map
         self.controller.mshrs = self.l2_mshrs
         self.prefetcher = prefetcher
         if prefetcher is not None:
             prefetcher.attach(self, space, config)
+            # Bind the candidate probe once (collapsing the engine's
+            # delegation to its region queue): it runs per demand access.
+            queue = getattr(prefetcher, "queue", None)
+            self._has_candidates = (
+                queue.has_candidates if queue is not None
+                else prefetcher.has_candidates
+            )
+            # Resolve the per-fill hook once: engines that inherit the
+            # base no-op (SRP) skip the call entirely on the fill path.
+            hook = getattr(type(prefetcher), "on_prefetch_fill", None)
+            if hook is Prefetcher.on_prefetch_fill:
+                self._pf_on_fill = None
+            else:
+                self._pf_on_fill = getattr(
+                    prefetcher, "on_prefetch_fill", None
+                )
+            self._pf_fills_l2 = getattr(prefetcher, "fills_l2", True)
+        else:
+            self._has_candidates = None
+            self._pf_on_fill = None
+            self._pf_fills_l2 = True
         self.tlb = (
             TLB(config.tlb_entries, config.tlb_assoc,
                 config.tlb_page_size, config.tlb_miss_latency)
@@ -87,33 +114,67 @@ class Hierarchy:
         )
         self.stats = HierarchyStats()
         self._prefetch_ready = {}
+        #: Min-heap of (ready, block) mirroring ``_prefetch_ready`` with
+        #: lazy deletion: entries popped from the dict (demand touches) or
+        #: superseded by a re-prefetch go stale in the heap and are
+        #: skipped when popped.  Pruning is therefore O(log n) amortized
+        #: per fill instead of a full-dict scan at every threshold hit.
+        self._ready_heap = []
         # Observability layer: always collects the summary metrics; the
         # per-event trace hooks are installed only when a sink is given.
         self.metrics = MetricsCollector(sink=trace_sink)
         self.metrics.attach(self)
+        #: Fast-path gating (semantics-preserving, hence off for
+        #: ``reference`` runs, whose stats the differential tests compare
+        #: byte-for-byte against the optimized default):
+        #: * prefetch catch-up is skipped while the engine's candidate
+        #:   queue is verifiably empty (``Prefetcher.has_candidates``);
+        #: * the metrics tick is skipped between sampling boundaries when
+        #:   no trace sink needs per-access timestamps.
+        self.reference = reference
+        self._fast_prefetch = not reference
+        self._fast_metrics = not reference and trace_sink is None
+        # The controller's blocked-issue cache is an optimization too:
+        # reference runs never arm it, so the differential tests exercise
+        # the uncached probe sequence against the cached one.
+        self.controller._cache_blocked = not reference
 
     # ------------------------------------------------------------------
     # Prefetch fill path (controller callback)
     # ------------------------------------------------------------------
     def _fill_prefetch(self, request, ready):
         block = request.block
-        if self.prefetcher is None or self.prefetcher.fills_l2:
-            # Stamp the collector's clock before the fill so any eviction
-            # the fill causes is traced at the fill's ready time.
-            self.metrics.on_prefetch_fill(request, ready)
-            writeback = self.l2.fill(block, prefetched=True)
+        if self._pf_fills_l2:
+            if not self._fast_metrics:
+                # Stamp the collector's clock before the fill so any
+                # eviction the fill causes is traced at the fill's ready
+                # time.  Without a sink (and outside reference runs) the
+                # stamp is unread — no observers are installed.
+                self.metrics.on_prefetch_fill(request, ready)
+            writeback = self.l2.fill_prefetch_block(block)
             if writeback is not None:
                 self.controller.writeback(writeback, ready)
             self._prefetch_ready[block] = ready
+            heapq.heappush(self._ready_heap, (ready, block))
             if len(self._prefetch_ready) > 4096:
                 self._prune_ready(ready)
-        if self.prefetcher is not None:
-            self.prefetcher.on_prefetch_fill(request, ready)
+        if self._pf_on_fill is not None:
+            self._pf_on_fill(request, ready)
 
     def _prune_ready(self, now):
-        stale = [b for b, r in self._prefetch_ready.items() if r <= now]
-        for b in stale:
-            del self._prefetch_ready[b]
+        """Drop ready-time entries for prefetches whose data has landed.
+
+        The dict stays authoritative; the heap orders the drops.  A heap
+        entry whose ready time no longer matches the dict's (demand touch
+        popped it, or a re-prefetch of the same block superseded it) is
+        stale and skipped.
+        """
+        heap = self._ready_heap
+        ready_map = self._prefetch_ready
+        while heap and heap[0][0] <= now:
+            ready, block = heapq.heappop(heap)
+            if ready_map.get(block) == ready:
+                del ready_map[block]
 
     # ------------------------------------------------------------------
     # Demand path
@@ -124,7 +185,7 @@ class Hierarchy:
             self.stats.stores += 1
         else:
             self.stats.loads += 1
-        if self.mode == "perfect_l1":
+        if self._perfect_l1:
             return now + self.l1.latency
         if self.tlb is not None:
             # The page walk serializes before the cache lookup.
@@ -132,11 +193,30 @@ class Hierarchy:
         # Catch up on prefetch issue for the idle time that elapsed before
         # this access: prefetches queued earlier may have completed (or be
         # in flight) by now, turning this lookup into a (late) hit.
-        self.controller.issue_prefetches(now)
-        self.metrics.tick(now)
-        block = block_base(addr, self.block_size)
-        if self.l1.access(addr, is_store=is_store):
+        if self._fast_prefetch:
+            has_candidates = self._has_candidates
+            if has_candidates is not None and has_candidates():
+                self.controller.issue_prefetches(now)
+        else:
+            self.controller.issue_prefetches(now)
+        metrics = self.metrics
+        if not self._fast_metrics or now >= metrics.series._next:
+            # Between sampling boundaries the tick is a no-op unless a
+            # trace sink needs per-access timestamps; the boundary test
+            # mirrors IntervalSeries.due exactly.
+            metrics.tick(now)
+        block = addr & self._block_mask
+        if self.l1.access_block(block, is_store=is_store):
             return now + self.l1.latency
+        return self.access_after_l1_miss(block, addr, now, is_store,
+                                         ref_id, hint)
+
+    def access_after_l1_miss(self, block, addr, now, is_store, ref_id, hint):
+        """The L2-and-below half of :meth:`access`.
+
+        Split out so :meth:`Core.execute_compiled`'s fused loop, which
+        inlines the L1 probe, can fall into the identical miss handling.
+        """
         # L1 miss: the L2 lookup starts after the L1 probe.
         t = now + self.l1.latency
         completion = self._l2_access(block, addr, t, is_store, ref_id, hint)
@@ -144,13 +224,18 @@ class Hierarchy:
         l1_victim = self.l1.fill(addr, is_store=is_store)
         if l1_victim is not None:
             self.l2.fill(l1_victim)
+            controller = self.controller
+            if l1_victim == controller._held_block:
+                # The held prefetch candidate just became L2-resident:
+                # the next probe must run (and drop it), not be skipped.
+                controller._blocked_until = -1.0
         return completion
 
     def _l2_access(self, block, addr, t, is_store, ref_id, hint):
-        if self.mode == "perfect_l2":
+        if self._perfect_l2:
             return t + self.l2.latency
         useful_before = self.l2.stats.useful_prefetches
-        hit = self.l2.access(addr, is_store=is_store)
+        hit = self.l2.access_block(block, is_store=is_store)
         if self.prefetcher is not None:
             self.prefetcher.on_l2_access(block, addr, ref_id, hint, t, hit)
         if hit:
@@ -177,17 +262,33 @@ class Hierarchy:
                 writeback = self.l2.fill(addr, is_store=is_store)
                 if writeback is not None:
                     self.controller.writeback(writeback, completion)
+                if block == self.controller._held_block:
+                    self.controller._blocked_until = -1.0
                 return completion
-        merged = self.l2_mshrs.lookup(block, t)
+        mshrs = self.l2_mshrs
+        # MSHRFile.lookup / earliest_free, with their lazy-reclaim guard
+        # hoisted so the common no-completed-fill case pays no calls.
+        if t >= mshrs._min_ready:
+            mshrs._reclaim(t)
+        merged = mshrs._inflight.get(block)
         if merged is not None:
+            mshrs.merges += 1
             self.stats.mshr_merge_waits += 1
             return max(merged, t + self.l2.latency)
-        start = max(t, self.l2_mshrs.earliest_free(t, record_stall=True))
+        if len(mshrs._inflight) < mshrs.num_entries:
+            start = t
+        else:
+            mshrs.stalls += 1
+            start = max(t, min(mshrs._inflight.values()))
         ready = self.controller.demand_fetch(block, start)
-        self.l2_mshrs.allocate(block, ready, start)
+        mshrs.allocate(block, ready, start)
         writeback = self.l2.fill(addr, is_store=is_store)
         if writeback is not None:
             self.controller.writeback(writeback, ready)
+        if block == self.controller._held_block:
+            # A demand fetch beat the held prefetch candidate to its own
+            # block; un-skip the probe so the drop happens on schedule.
+            self.controller._blocked_until = -1.0
         self._prefetch_ready.pop(block, None)
         if self.prefetcher is not None:
             self.prefetcher.on_demand_fill(block, ref_id, hint, ready)

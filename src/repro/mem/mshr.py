@@ -22,17 +22,23 @@ class MSHRFile:
             raise ValueError("MSHR file needs at least one entry")
         self.num_entries = num_entries
         self._inflight = {}
+        #: Lower bound on the earliest outstanding completion; lets
+        #: :meth:`_reclaim` (called on every lookup/allocate/probe) skip
+        #: the scan entirely while no fill can have completed yet.
+        self._min_ready = float("inf")
         self.merges = 0
         self.allocations = 0
         self.stalls = 0
 
     def _reclaim(self, now):
         """Free every register whose fill has completed by ``now``."""
-        if not self._inflight:
+        if now < self._min_ready:
             return
-        done = [blk for blk, ready in self._inflight.items() if ready <= now]
+        inflight = self._inflight
+        done = [blk for blk, ready in inflight.items() if ready <= now]
         for blk in done:
-            del self._inflight[blk]
+            del inflight[blk]
+        self._min_ready = min(inflight.values()) if inflight else float("inf")
 
     def outstanding(self, now):
         """Number of fills still in flight at cycle ``now``."""
@@ -79,4 +85,6 @@ class MSHRFile:
         if len(self._inflight) >= self.num_entries:
             raise RuntimeError("MSHR overflow: allocate without a free entry")
         self._inflight[block] = ready
+        if ready < self._min_ready:
+            self._min_ready = ready
         self.allocations += 1

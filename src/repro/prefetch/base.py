@@ -69,6 +69,18 @@ class Prefetcher:
         """
         return None
 
+    def has_candidates(self):
+        """True when :meth:`pop_candidate` could return a request.
+
+        The controller's issue loop is called before every demand access;
+        this cheap probe lets it (and the hierarchy's fast path) skip the
+        loop entirely while the queue is verifiably empty.  May report
+        True for a queue holding only exhausted entries — pruning those is
+        :meth:`pop_candidate`'s job, and some engines sample the queue
+        depth before pruning.
+        """
+        return False
+
     def pop_candidate(self, now, dram):
         """Return the next :class:`PrefetchRequest` to issue, or None."""
         return None

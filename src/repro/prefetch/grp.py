@@ -73,8 +73,9 @@ class GRPPrefetcher(Prefetcher):
             config.prefetch_queue_size,
             config.region_size,
             config.block_size,
-            is_resident=hierarchy.l2.contains,
+            is_resident=hierarchy.l2.contains_block,
             policy=config.prefetch_queue_policy,
+            resident_map=hierarchy.l2.resident_map,
         )
 
     # ------------------------------------------------------------------
@@ -179,6 +180,9 @@ class GRPPrefetcher(Prefetcher):
             self.queue.allocate_blocks(blocks, now, depth=0)
 
     # ------------------------------------------------------------------
+    def has_candidates(self):
+        return self.queue.has_candidates()
+
     def pop_candidate(self, now, dram):
         return self.queue.pop_candidate(now, dram)
 

@@ -34,8 +34,9 @@ class PointerPrefetcher(Prefetcher):
             config.prefetch_queue_size,
             config.region_size,
             config.block_size,
-            is_resident=hierarchy.l2.contains,
+            is_resident=hierarchy.l2.contains_block,
             policy=config.prefetch_queue_policy,
+            resident_map=hierarchy.l2.resident_map,
         )
         self._initial_depth = config.recursive_depth if self.recursive else 1
 
@@ -65,6 +66,9 @@ class PointerPrefetcher(Prefetcher):
     def on_prefetch_fill(self, request, ready):
         if request.depth > 0:
             self._scan_and_queue(request.block, ready, request.depth)
+
+    def has_candidates(self):
+        return self.queue.has_candidates()
 
     def pop_candidate(self, now, dram):
         return self.queue.pop_candidate(now, dram)

@@ -54,6 +54,7 @@ class RegionQueue:
         block_size,
         is_resident=None,
         policy="lifo",
+        resident_map=None,
     ):
         if policy not in ("lifo", "fifo"):
             raise ValueError("queue policy must be 'lifo' or 'fifo'")
@@ -61,6 +62,11 @@ class RegionQueue:
         self.region_size = region_size
         self.block_size = block_size
         self.is_resident = is_resident
+        #: Optional live container of resident blocks (see
+        #: :attr:`repro.mem.cache.Cache.resident_map`); when given it
+        #: replaces an ``is_resident`` call per probed block with one
+        #: ``in`` test on the region-allocation paths.
+        self.resident_map = resident_map
         self.policy = policy
         self._entries = []  # index 0 = head (most recent)
         self._held = None  # candidate returned by push_back
@@ -114,13 +120,22 @@ class RegionQueue:
         nblocks = rsize // self.block_size
         miss_index = block_index_in_region(miss_block, rsize, self.block_size)
         bitvec = 0
-        for i in range(nblocks):
-            block = base + i * self.block_size
-            if i == miss_index:
-                continue
-            if self.is_resident is not None and self.is_resident(block):
-                continue
-            bitvec |= 1 << i
+        bsize = self.block_size
+        resident_map = self.resident_map
+        if resident_map is not None:
+            for i in range(nblocks):
+                if i == miss_index or base + i * bsize in resident_map:
+                    continue
+                bitvec |= 1 << i
+        else:
+            is_resident = self.is_resident
+            for i in range(nblocks):
+                block = base + i * bsize
+                if i == miss_index:
+                    continue
+                if is_resident is not None and is_resident(block):
+                    continue
+                bitvec |= 1 << i
         entry = RegionEntry(
             base, bitvec, nblocks, (miss_index + 1) % nblocks, depth, now
         )
@@ -149,10 +164,14 @@ class RegionQueue:
         if len(groups) > 1:
             self.region_splits += 1
         entries = []
+        resident_map = self.resident_map
         for base, group in groups.items():
             bitvec = 0
             for block in group:
-                if self.is_resident is not None and self.is_resident(block):
+                if resident_map is not None:
+                    if block in resident_map:
+                        continue
+                elif self.is_resident is not None and self.is_resident(block):
                     continue
                 idx = block_index_in_region(
                     block, self.region_size, self.block_size
@@ -178,18 +197,85 @@ class RegionQueue:
     # ------------------------------------------------------------------
     # Issue
     # ------------------------------------------------------------------
+    def has_candidates(self):
+        """True when a pop could yield a request *or* prune an entry.
+
+        Deliberately counts entries with exhausted bitvectors: popping
+        prunes them, which changes the queue depth the metrics layer
+        samples, so callers must not skip the pop while any entry exists.
+        """
+        return self._held is not None or bool(self._entries)
+
     def pop_candidate(self, now, dram=None):
         """Return the next :class:`PrefetchRequest`, or None when empty."""
         if self._held is not None:
             request, self._held = self._held, None
             return request
-        while self._entries:
-            pos = 0 if self.policy == "lifo" else len(self._entries) - 1
-            entry = self._entries[pos]
-            block = self._select_block(entry, dram)
-            if block is None:
-                self._entries.pop(pos)
+        entries = self._entries
+        if not entries:
+            return None
+        lifo = self.policy == "lifo"
+        bsize = self.block_size
+        if dram is not None:
+            # Row-probe state, denormalized out of DRAMSystem: the open-row
+            # preference scan below replicates row_is_open per candidate.
+            # Duck-typed DRAM stands-ins (tests) keep the method call.
+            open_rows = getattr(dram, "_open_rows", None)
+            if open_rows is not None:
+                blk_shift = dram._block_shift
+                n_channels = dram._channels
+                n_banks = dram._banks
+                blocks_per_row = dram._blocks_per_row
+            else:
+                row_is_open = dram.row_is_open
+        while entries:
+            pos = 0 if lifo else len(entries) - 1
+            entry = entries[pos]
+            # _select_block, inlined (the hottest call of the issue loop):
+            # scan the set bits from the entry's index, wrapping, prefer
+            # the first candidate whose DRAM row is open, fall back to the
+            # first candidate in scan order.
+            bitvec = entry.bitvec
+            if bitvec == 0:
+                entries.pop(pos)
                 continue
+            nblocks = entry.nblocks
+            index = entry.index
+            base = entry.base
+            rot = ((bitvec >> index) | (bitvec << (nblocks - index))) \
+                & ((1 << nblocks) - 1)
+            first_index = None
+            block = None
+            if dram is not None:
+                while rot:
+                    i = index + (rot & -rot).bit_length() - 1
+                    if i >= nblocks:
+                        i -= nblocks
+                    if first_index is None:
+                        first_index = i
+                    addr = base + i * bsize
+                    if open_rows is not None:
+                        nblk = addr >> blk_shift
+                        per = nblk // n_channels // blocks_per_row
+                        is_open = (
+                            open_rows[nblk % n_channels][per % n_banks]
+                            == per // n_banks
+                        )
+                    else:
+                        is_open = row_is_open(addr)
+                    if is_open:
+                        block = addr
+                        break
+                    rot &= rot - 1
+            else:
+                first_index = index + (rot & -rot).bit_length() - 1
+                if first_index >= nblocks:
+                    first_index -= nblocks
+            if block is None:
+                i = first_index
+                block = base + i * bsize
+            entry.bitvec = bitvec & ~(1 << i)
+            entry.index = (i + 1) % nblocks
             self.candidates_issued += 1
             return PrefetchRequest(
                 block, entry.queued_at, depth=entry.depth, meta=entry
@@ -202,25 +288,36 @@ class RegionQueue:
         Scans from the entry's index, wrapping, and prefers the first
         candidate whose DRAM row is already open; falls back to the first
         candidate in scan order.  Returns None when no bits remain.
+
+        The scan rotates the bitvector so the wrapped order starts at bit
+        0, then walks only the *set* bits (isolate lowest, clear, repeat)
+        — same visit order as a position-by-position loop, without
+        touching the empty positions.
         """
-        if entry.bitvec == 0:
+        bitvec = entry.bitvec
+        if bitvec == 0:
             return None
-        first_block = None
+        nblocks = entry.nblocks
+        index = entry.index
+        base = entry.base
+        bsize = self.block_size
+        rot = ((bitvec >> index) | (bitvec << (nblocks - index))) \
+            & ((1 << nblocks) - 1)
         first_index = None
-        for step in range(entry.nblocks):
-            i = (entry.index + step) % entry.nblocks
-            if not (entry.bitvec >> i) & 1:
-                continue
-            block = entry.base + i * self.block_size
-            if first_block is None:
-                first_block, first_index = block, i
-            if dram is not None and dram.row_is_open(block):
-                entry.bitvec &= ~(1 << i)
-                entry.index = (i + 1) % entry.nblocks
-                return block
-        entry.bitvec &= ~(1 << first_index)
-        entry.index = (first_index + 1) % entry.nblocks
-        return first_block
+        while rot:
+            i = index + (rot & -rot).bit_length() - 1
+            if i >= nblocks:
+                i -= nblocks
+            if first_index is None:
+                first_index = i
+            if dram is not None and dram.row_is_open(base + i * bsize):
+                entry.bitvec = bitvec & ~(1 << i)
+                entry.index = (i + 1) % nblocks
+                return base + i * bsize
+            rot &= rot - 1
+        entry.bitvec = bitvec & ~(1 << first_index)
+        entry.index = (first_index + 1) % nblocks
+        return base + first_index * bsize
 
     def push_back(self, request):
         """Hold an unissuable candidate; it is returned by the next pop."""

@@ -23,12 +23,16 @@ class SRPPrefetcher(Prefetcher):
             config.prefetch_queue_size,
             config.region_size,
             config.block_size,
-            is_resident=hierarchy.l2.contains,
+            is_resident=hierarchy.l2.contains_block,
             policy=config.prefetch_queue_policy,
+            resident_map=hierarchy.l2.resident_map,
         )
 
     def on_l2_miss(self, block, addr, ref_id, hint, now):
         self.queue.allocate_region(block, now)
+
+    def has_candidates(self):
+        return self.queue.has_candidates()
 
     def pop_candidate(self, now, dram):
         return self.queue.pop_candidate(now, dram)

@@ -185,7 +185,7 @@ class StridePrefetcher(Prefetcher):
             block = buf.next_block()
             if block is None:
                 break
-            if self.hierarchy.l2.contains(block):
+            if self.hierarchy.l2.contains_block(block):
                 continue
             buf.entries[block] = None
             self._pending.append(
@@ -193,6 +193,9 @@ class StridePrefetcher(Prefetcher):
             )
 
     # ------------------------------------------------------------------
+    def has_candidates(self):
+        return bool(self._pending)
+
     def pop_candidate(self, now, dram):
         while self._pending:
             request = self._pending.pop(0)

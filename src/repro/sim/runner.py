@@ -33,6 +33,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.simulator import Simulator
 from repro.sim.spec import RunSpec
 from repro.trace.interp import Interpreter
+from repro.trace.store import TraceKey, default_store, hint_signature
 from repro.workloads.base import Workload, get_workload
 
 
@@ -78,7 +79,7 @@ SCHEMES = {
 }
 
 
-def execute(spec, trace_path=None):
+def execute(spec, trace_path=None, reference=False):
     """Run the simulation a :class:`RunSpec` describes; return its RunResult.
 
     This is the engine: RunSpec in, SimStats out.  Everything that
@@ -87,6 +88,12 @@ def execute(spec, trace_path=None):
     cache both rely on this).  ``trace_path``, when given, streams the
     run's structured JSONL event trace there; it is a pure side channel —
     the returned stats are identical with or without it.
+
+    ``reference=True`` runs the unoptimized paths end to end: the
+    interpreter's event generator feeds the simulator directly (no
+    compiled trace, no trace store) and the hierarchy's hot-path
+    shortcuts are disabled.  The result must be byte-identical to the
+    default fast path — the differential tests enforce this.
     """
     workload = get_workload(spec.workload)
     try:
@@ -98,24 +105,27 @@ def execute(spec, trace_path=None):
     return _simulate(workload, spec.scheme, scheme_spec,
                      spec.machine_config(), spec.mode, spec.policy,
                      spec.limit_refs, spec.scale, spec.seed,
-                     trace_path=trace_path)
+                     trace_path=trace_path, reference=reference)
 
 
 def run_workload(workload, scheme, config=None, mode="real", policy="default",
-                 limit_refs=None, scale=1.0, seed=12345, trace_path=None):
+                 limit_refs=None, scale=1.0, seed=12345, trace_path=None,
+                 reference=False):
     """Run one (workload, scheme) simulation; return its SimStats.
 
     Thin shim over :func:`execute`.  ``workload`` may be a name or a
     :class:`Workload` instance (instances bypass RunSpec, which only
-    carries registered names).  ``mode`` selects perfect-cache variants
-    (``real``/``perfect_l1``/``perfect_l2``).  ``policy`` is the
-    compiler's spatial-marking policy (Section 5.4).
+    carries registered names — their traces are built fresh, never
+    cached, because the trace store keys by registered name).  ``mode``
+    selects perfect-cache variants (``real``/``perfect_l1``/
+    ``perfect_l2``).  ``policy`` is the compiler's spatial-marking policy
+    (Section 5.4).
     """
     if isinstance(workload, str):
         return execute(RunSpec.create(
             workload, scheme, config=config, mode=mode, policy=policy,
             limit_refs=limit_refs, scale=scale, seed=seed,
-        ), trace_path=trace_path)
+        ), trace_path=trace_path, reference=reference)
     if not isinstance(workload, Workload):
         raise TypeError("workload must be a name or Workload instance")
     try:
@@ -126,14 +136,45 @@ def run_workload(workload, scheme, config=None, mode="real", policy="default",
         )
     return _simulate(workload, scheme, scheme_spec,
                      config or MachineConfig.scaled(), mode, policy,
-                     limit_refs, scale, seed, trace_path=trace_path)
+                     limit_refs, scale, seed, trace_path=trace_path,
+                     reference=reference, cacheable=False)
+
+
+#: Built-workload cache: {(name, scale): (space, built, program)}.  Every
+#: registered workload's build is deterministic in (name, scale) — the
+#: builders seed their own RNGs — and nothing written after build time:
+#: the interpreter and the prefetchers' pointer scans only *read* the
+#: address space.  Sharing the build across the scheme × mode matrix
+#: saves re-running it (heap construction, shuffles) per cell.
+_BUILD_CACHE = {}
+_BUILD_CACHE_MAX = 32
+
+
+def _built_workload(workload, scale, cacheable):
+    if not cacheable:
+        space = AddressSpace()
+        built = workload.build(space, scale=scale)
+        return space, built, built.program.finalize()
+    key = (workload.name, scale)
+    entry = _BUILD_CACHE.get(key)
+    if entry is None:
+        space = AddressSpace()
+        built = workload.build(space, scale=scale)
+        entry = (space, built, built.program.finalize())
+        if len(_BUILD_CACHE) >= _BUILD_CACHE_MAX:
+            _BUILD_CACHE.clear()
+        _BUILD_CACHE[key] = entry
+    return entry
 
 
 def _simulate(workload, scheme, scheme_spec, config, mode, policy,
-              limit_refs, scale, seed, trace_path=None):
-    space = AddressSpace()
-    built = workload.build(space, scale=scale)
-    program = built.program.finalize()
+              limit_refs, scale, seed, trace_path=None, reference=False,
+              cacheable=True):
+    # Reference runs rebuild from scratch so a (hypothetical) mutation of
+    # shared build state by the fast path could not escape the
+    # differential comparison.
+    space, built, program = _built_workload(
+        workload, scale, cacheable and not reference)
 
     # Only hinted schemes consume compiler output; skipping the compiler
     # for none/stride/srp/pointer saves all its pass time on runs that
@@ -149,30 +190,50 @@ def _simulate(workload, scheme, scheme_spec, config, mode, policy,
         )
         hint_table = result.hint_table
         compile_for_trace = result
+        hint_sig = hint_signature(policy, scheme_spec.variable_regions,
+                                  scheme_spec.indirect_mode, config.l2_size)
     else:
         result = None
         hint_table = None
         compile_for_trace = None
+        hint_sig = None
     prefetcher = scheme_spec.factory(result)
 
-    interp = Interpreter(
-        program, space, compile_for_trace, seed=seed,
-        block_size=config.block_size, ops_scale=workload.ops_scale,
-    )
-    for name, addr in built.pointer_bindings.items():
-        interp.bind_pointer(name, addr)
+    def build_interp():
+        # The interpreter only *reads* the address space, so the trace can
+        # be generated eagerly (or loaded from the store) without changing
+        # the space state the prefetchers observe during simulation.
+        interp = Interpreter(
+            program, space, compile_for_trace, seed=seed,
+            block_size=config.block_size, ops_scale=workload.ops_scale,
+        )
+        for name, addr in built.pointer_bindings.items():
+            interp.bind_pointer(name, addr)
+        return interp
 
+    limit = limit_refs if limit_refs is not None else workload.default_refs
+    label = scheme if mode == "real" else "%s/%s" % (scheme, mode)
     sink = TraceSink(trace_path) if trace_path is not None else None
     try:
         sim = Simulator(config, space, prefetcher, mode=mode,
-                        hint_table=hint_table, trace_sink=sink)
-        limit = (limit_refs if limit_refs is not None
-                 else workload.default_refs)
-        return sim.run(
-            interp.run(limit=limit),
-            workload=workload.name,
-            scheme=scheme if mode == "real" else "%s/%s" % (scheme, mode),
-        )
+                        hint_table=hint_table, trace_sink=sink,
+                        reference=reference)
+        if reference:
+            return sim.run(build_interp().run(limit=limit),
+                           workload=workload.name, scheme=label)
+        if cacheable:
+            # Schemes sharing a key — every unhinted one, plus hinted
+            # schemes whose compiles coincide — share one trace
+            # generation per process, and across processes via disk.
+            key = TraceKey(workload.name, scale, seed, limit,
+                           config.block_size, hint_sig)
+            trace = default_store().get_or_build(
+                key,
+                lambda: build_interp().run_columns(limit),
+            )
+        else:
+            trace = build_interp().run_columns(limit)
+        return sim.run_compiled(trace, workload=workload.name, scheme=label)
     finally:
         if sink is not None:
             sink.close()

@@ -1,0 +1,212 @@
+"""Compiled traces: the interpreter's event stream in columnar form.
+
+A :class:`CompiledTrace` lowers a list of trace events (see
+:mod:`repro.trace.events`) into four parallel columns — a kind byte plus
+three 64-bit integer fields per event — with memory-reference ids interned
+into a side table.  The representation is:
+
+* **compact** — ~25 bytes per event in ``array`` storage instead of a
+  Python object per event, so a full trace for one workload is a couple
+  of megabytes and cheap to keep resident;
+* **loss-free** — :meth:`CompiledTrace.events` reconstructs an event
+  stream equal (field by field, in order) to the source stream, which the
+  trace-store correctness tests assert for every workload;
+* **replayable without objects** — the simulator's fast path
+  (:meth:`repro.cpu.core.Core.execute_compiled`) iterates the columns
+  directly, skipping per-event object construction and attribute loads.
+
+Column layout per event kind:
+
+=====================  ====  =========  =========  ==========
+event                  kind  f0         f1         f2
+=====================  ====  =========  =========  ==========
+MemRef (load)          0     ref index  addr       size
+MemRef (store)         1     ref index  addr       size
+Ops                    2     count      0          0
+LoopBound              3     bound      0          0
+SetIndirectBase        4     base_addr  elem_size  0
+IndirectPrefetch       5     base_addr  elem_size  index_addr
+=====================  ====  =========  =========  ==========
+
+``ref index`` points into :attr:`CompiledTrace.ref_names`, the interned
+static reference ids (the hint-table keys); :meth:`resolve_hints` turns a
+hint table into a list aligned with that table so replay does one list
+index instead of one dict lookup per reference.
+
+The on-disk form (:meth:`save`/:meth:`load`) is a small JSON header line
+followed by the raw column bytes; :mod:`repro.trace.store` keys such
+files by trace content identity.
+"""
+
+import json
+from array import array
+
+from repro.trace.events import (
+    IndirectPrefetch,
+    LoopBound,
+    MemRef,
+    Ops,
+    SetIndirectBase,
+)
+
+#: Event-kind codes (the ``kinds`` column).  Loads and stores are distinct
+#: kinds so ``is_store`` needs no extra column; every ``kind <= K_STORE``
+#: is a memory reference.
+K_LOAD = 0
+K_STORE = 1
+K_OPS = 2
+K_BOUND = 3
+K_SETBASE = 4
+K_INDIRECT = 5
+
+#: Bumped whenever the columnar layout changes; part of the on-disk
+#: header, so stale files from older layouts read as cache misses.
+FORMAT_VERSION = 1
+
+_MAGIC = "repro-trace"
+
+
+class CompiledTrace:
+    """One trace, lowered to parallel columns.  Immutable once built."""
+
+    __slots__ = ("kinds", "f0", "f1", "f2", "ref_names", "ref_count")
+
+    def __init__(self, kinds, f0, f1, f2, ref_names, ref_count):
+        self.kinds = kinds
+        self.f0 = f0
+        self.f1 = f1
+        self.f2 = f2
+        self.ref_names = ref_names
+        #: Number of memory-reference events (loads + stores).
+        self.ref_count = ref_count
+
+    def __len__(self):
+        return len(self.kinds)
+
+    def __repr__(self):
+        return "CompiledTrace(%d events, %d refs, %d ref ids)" % (
+            len(self.kinds), self.ref_count, len(self.ref_names)
+        )
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(cls, events):
+        """Lower an event list (or iterable) into columnar form."""
+        kinds = array("b")
+        f0 = array("q")
+        f1 = array("q")
+        f2 = array("q")
+        ref_names = []
+        intern = {}
+        ref_count = 0
+        for event in events:
+            etype = event.__class__
+            if etype is MemRef:
+                ref_id = event.ref_id
+                idx = intern.get(ref_id)
+                if idx is None:
+                    idx = intern[ref_id] = len(ref_names)
+                    ref_names.append(ref_id)
+                kinds.append(K_STORE if event.is_store else K_LOAD)
+                f0.append(idx)
+                f1.append(event.addr)
+                f2.append(event.size)
+                ref_count += 1
+            elif etype is Ops:
+                kinds.append(K_OPS)
+                f0.append(event.count)
+                f1.append(0)
+                f2.append(0)
+            elif etype is LoopBound:
+                kinds.append(K_BOUND)
+                f0.append(event.bound)
+                f1.append(0)
+                f2.append(0)
+            elif etype is SetIndirectBase:
+                kinds.append(K_SETBASE)
+                f0.append(event.base_addr)
+                f1.append(event.elem_size)
+                f2.append(0)
+            elif etype is IndirectPrefetch:
+                kinds.append(K_INDIRECT)
+                f0.append(event.base_addr)
+                f1.append(event.elem_size)
+                f2.append(event.index_addr)
+            else:
+                raise TypeError("cannot lower trace event %r" % (event,))
+        return cls(kinds, f0, f1, f2, ref_names, ref_count)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def events(self):
+        """Yield reconstructed event objects, equal to the source stream."""
+        ref_names = self.ref_names
+        f0, f1, f2 = self.f0, self.f1, self.f2
+        for i, kind in enumerate(self.kinds):
+            if kind <= K_STORE:
+                yield MemRef(ref_names[f0[i]], f1[i], f2[i],
+                             is_store=(kind == K_STORE))
+            elif kind == K_OPS:
+                yield Ops(f0[i])
+            elif kind == K_BOUND:
+                yield LoopBound(f0[i])
+            elif kind == K_SETBASE:
+                yield SetIndirectBase(f0[i], f1[i])
+            else:
+                yield IndirectPrefetch(f0[i], f1[i], f2[i])
+
+    def resolve_hints(self, hint_table):
+        """Per-ref-index hint list: ``hints[f0[i]]`` replaces a dict get."""
+        if hint_table is None:
+            return [None] * len(self.ref_names)
+        return [hint_table.get(name) for name in self.ref_names]
+
+    # ------------------------------------------------------------------
+    # Disk form
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Write the trace to ``path`` (header line + raw column bytes)."""
+        header = {
+            "magic": _MAGIC,
+            "format": FORMAT_VERSION,
+            "events": len(self.kinds),
+            "refs": self.ref_count,
+            "ref_names": self.ref_names,
+        }
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(header).encode("utf-8"))
+            fh.write(b"\n")
+            fh.write(self.kinds.tobytes())
+            fh.write(self.f0.tobytes())
+            fh.write(self.f1.tobytes())
+            fh.write(self.f2.tobytes())
+
+    @classmethod
+    def load(cls, path):
+        """Read a trace written by :meth:`save`.
+
+        Raises ``ValueError`` on any malformed or stale-format file (the
+        trace store turns that into a cache miss).
+        """
+        with open(path, "rb") as fh:
+            header_line = fh.readline()
+            header = json.loads(header_line.decode("utf-8"))
+            if header.get("magic") != _MAGIC:
+                raise ValueError("not a compiled trace: %s" % path)
+            if header.get("format") != FORMAT_VERSION:
+                raise ValueError("stale trace format in %s" % path)
+            count = header["events"]
+            kinds = array("b")
+            kinds.frombytes(fh.read(count * kinds.itemsize))
+            columns = []
+            for _ in range(3):
+                col = array("q")
+                col.frombytes(fh.read(count * col.itemsize))
+                columns.append(col)
+        if len(kinds) != count or any(len(c) != count for c in columns):
+            raise ValueError("truncated compiled trace: %s" % path)
+        return cls(kinds, columns[0], columns[1], columns[2],
+                   header["ref_names"], header["refs"])

@@ -12,9 +12,17 @@ of an index array.
 Pointer-based structures are traversed through the address space's word
 content store, so the addresses the trace visits are exactly the pointer
 values the prefetch engines see when they scan fetched lines.
+
+Execution is *flattened*: statement handlers are plain methods that append
+events directly into one buffer, with a single drain at the top level,
+instead of a chain of per-statement generators (``yield from`` delegation
+costs a generator frame per statement per iteration and dominated trace
+generation time).  :meth:`Interpreter.run` keeps the original generator
+API as a thin wrapper over :meth:`Interpreter.run_events`.
 """
 
 import random
+from array import array
 
 from repro.compiler.ir import (
     Affine,
@@ -35,6 +43,15 @@ from repro.compiler.ir import (
     WhileLoop,
 )
 from repro.compiler.symbols import Sym
+from repro.trace.compiled import (
+    CompiledTrace,
+    K_BOUND,
+    K_INDIRECT,
+    K_LOAD,
+    K_OPS,
+    K_SETBASE,
+    K_STORE,
+)
 from repro.trace.events import (
     IndirectPrefetch,
     LoopBound,
@@ -52,7 +69,7 @@ class TraceLimit(Exception):
 
 
 class Interpreter:
-    """Executes one finalized program, yielding trace events."""
+    """Executes one finalized program, emitting trace events."""
 
     def __init__(self, program, space, compile_result=None, seed=12345,
                  block_size=64, ops_scale=1.0):
@@ -70,6 +87,16 @@ class Interpreter:
         self._events = []
         self._refs_emitted = 0
         self._limit = None
+        #: When True the emit layer lowers events straight into the
+        #: columnar buffers below (see :meth:`run_columns`) instead of
+        #: building event objects.
+        self._columnar = False
+        self._kinds = None
+        self._f0 = None
+        self._f1 = None
+        self._f2 = None
+        self._ref_names = None
+        self._intern = None
         self._indirect_last_block = {}
         self._dims_cache = {}
 
@@ -102,19 +129,67 @@ class Interpreter:
 
     def _flush_ops(self):
         if self._pending_ops:
-            self._events.append(Ops(self._pending_ops))
+            if self._columnar:
+                self._kinds.append(K_OPS)
+                self._f0.append(self._pending_ops)
+                self._f1.append(0)
+                self._f2.append(0)
+            else:
+                self._events.append(Ops(self._pending_ops))
             self._pending_ops = 0
 
     def _emit_ref(self, ref_id, addr, size=8, is_store=False):
         if self._limit is not None and self._refs_emitted >= self._limit:
             raise TraceLimit()
-        self._flush_ops()
-        self._events.append(MemRef(ref_id, addr, size, is_store))
+        if self._columnar:
+            kinds = self._kinds
+            f0 = self._f0
+            f1 = self._f1
+            f2 = self._f2
+            if self._pending_ops:
+                kinds.append(K_OPS)
+                f0.append(self._pending_ops)
+                f1.append(0)
+                f2.append(0)
+                self._pending_ops = 0
+            idx = self._intern.get(ref_id)
+            if idx is None:
+                idx = self._intern[ref_id] = len(self._ref_names)
+                self._ref_names.append(ref_id)
+            kinds.append(K_STORE if is_store else K_LOAD)
+            f0.append(idx)
+            f1.append(addr)
+            f2.append(size)
+        else:
+            if self._pending_ops:
+                self._events.append(Ops(self._pending_ops))
+                self._pending_ops = 0
+            self._events.append(MemRef(ref_id, addr, size, is_store))
         self._refs_emitted += 1
 
     def _emit_directive(self, event):
         self._flush_ops()
-        self._events.append(event)
+        if not self._columnar:
+            self._events.append(event)
+            return
+        etype = event.__class__
+        if etype is LoopBound:
+            self._kinds.append(K_BOUND)
+            self._f0.append(event.bound)
+            self._f1.append(0)
+            self._f2.append(0)
+        elif etype is SetIndirectBase:
+            self._kinds.append(K_SETBASE)
+            self._f0.append(event.base_addr)
+            self._f1.append(event.elem_size)
+            self._f2.append(0)
+        elif etype is IndirectPrefetch:
+            self._kinds.append(K_INDIRECT)
+            self._f0.append(event.base_addr)
+            self._f1.append(event.elem_size)
+            self._f2.append(event.index_addr)
+        else:
+            raise TypeError("cannot lower trace event %r" % (event,))
 
     # ------------------------------------------------------------------
     # Public API
@@ -123,30 +198,64 @@ class Interpreter:
         """Execute the program; yield trace events.
 
         ``limit`` caps the number of memory references (the simulation
-        budget); execution stops cleanly when it is reached.
+        budget); execution stops cleanly when it is reached.  Thin
+        generator wrapper over :meth:`run_events` for API compatibility.
         """
+        yield from self.run_events(limit)
+
+    def run_events(self, limit=None):
+        """Execute the program; return the complete event list."""
         self._limit = limit
         try:
-            yield from self._exec(self.program.body)
+            self._exec(self.program.body)
         except TraceLimit:
             pass
         self._flush_ops()
-        yield from self._drain()
-
-    def _drain(self):
         events, self._events = self._events, []
-        return iter(events)
+        return events
+
+    def run_columns(self, limit=None):
+        """Execute the program, lowering events straight to columnar form.
+
+        Returns a :class:`~repro.trace.compiled.CompiledTrace` equal to
+        ``CompiledTrace.from_events(self.run_events(limit))`` — same
+        execution path, same emit call sites — without materializing the
+        intermediate per-event objects (the dominant cost of trace
+        generation).  The trace-store correctness tests assert the
+        equality for every workload.
+        """
+        self._limit = limit
+        self._columnar = True
+        self._kinds = array("b")
+        self._f0 = array("q")
+        self._f1 = array("q")
+        self._f2 = array("q")
+        self._ref_names = []
+        self._intern = {}
+        try:
+            self._exec(self.program.body)
+        except TraceLimit:
+            pass
+        self._flush_ops()
+        trace = CompiledTrace(
+            self._kinds, self._f0, self._f1, self._f2,
+            self._ref_names, self._refs_emitted,
+        )
+        self._columnar = False
+        self._kinds = self._f0 = self._f1 = self._f2 = None
+        self._ref_names = self._intern = None
+        return trace
 
     # ------------------------------------------------------------------
     # Statement execution
     # ------------------------------------------------------------------
     def _exec(self, stmt):
-        handler = self._HANDLERS[type(stmt)]
-        yield from handler(self, stmt)
+        self._HANDLERS[type(stmt)](self, stmt)
 
     def _exec_block(self, block):
+        handlers = self._HANDLERS
         for stmt in block.stmts:
-            yield from self._exec(stmt)
+            handlers[type(stmt)](self, stmt)
 
     def _exec_for(self, loop):
         lower = self.resolve(loop.lower)
@@ -154,21 +263,25 @@ class Interpreter:
         trips = max(0, -(-(upper - lower) // loop.step)) if loop.step > 0 \
             else max(0, (lower - upper + (-loop.step) - 1) // -loop.step)
         self._maybe_announce_bound(loop, trips)
+        handler = self._HANDLERS[type(loop.body)]
+        body = loop.body
+        var = loop.var.name
+        step = loop.step
         value = lower
         for _ in range(trips):
-            self._vars[loop.var.name] = value
-            self._ops(LOOP_OVERHEAD_OPS)
-            yield from self._exec(loop.body)
-            value += loop.step
-        yield from self._drain()
+            self._vars[var] = value
+            self._pending_ops += LOOP_OVERHEAD_OPS
+            handler(self, body)
+            value += step
 
     def _exec_while(self, loop):
         trips = self.resolve(loop.trips)
         self._maybe_announce_bound(loop, trips)
+        handler = self._HANDLERS[type(loop.body)]
+        body = loop.body
         for _ in range(trips):
-            self._ops(LOOP_OVERHEAD_OPS)
-            yield from self._exec(loop.body)
-        yield from self._drain()
+            self._pending_ops += LOOP_OVERHEAD_OPS
+            handler(self, body)
 
     def _exec_ptr_loop(self, loop):
         trips = self.resolve(loop.trips)
@@ -179,11 +292,12 @@ class Interpreter:
         # The C idiom is `for (p = start; p < end; p += c)`: entering the
         # loop re-initializes the induction pointer.
         self._ptrs[name] = self._ptr_reset[name]
+        handler = self._HANDLERS[type(loop.body)]
+        body = loop.body
         for _ in range(trips):
-            self._ops(LOOP_OVERHEAD_OPS)
-            yield from self._exec(loop.body)
+            self._pending_ops += LOOP_OVERHEAD_OPS
+            handler(self, body)
             self._ptrs[name] += loop.step
-        yield from self._drain()
 
     def _maybe_announce_bound(self, loop, trips):
         result = self.compile_result
@@ -271,18 +385,17 @@ class Interpreter:
         values = [self._sub_value(sub) for sub in stmt.subs]
         index = self._linear_index(stmt.array, values)
         addr = stmt.array.base + index * stmt.array.elem_size
-        self._ops(1)
+        self._pending_ops += 1
         self._emit_ref(
             stmt.ref_id, addr, size=stmt.array.elem_size,
             is_store=stmt.is_store,
         )
-        yield from self._drain()
 
     def _exec_heap_row_ref(self, stmt):
         row = self._sub_value(stmt.row_sub)
         col = self._sub_value(stmt.col_sub)
         row_addr = stmt.buf.base + row * 8
-        self._ops(1)
+        self._pending_ops += 1
         self._emit_ref(stmt.row_ref_id, row_addr, size=8)
         row_base = self.space.load_word(row_addr)
         if row_base is None:
@@ -294,24 +407,21 @@ class Interpreter:
             stmt.elem_ref_id, elem_addr, size=stmt.elem_size,
             is_store=stmt.is_store,
         )
-        yield from self._drain()
 
     def _exec_ptr_ref(self, stmt):
         base = self._ptrs[stmt.ptr.name]
         offset = stmt.field.offset if stmt.field is not None else stmt.offset
         size = stmt.field.size if stmt.field is not None else stmt.size
-        self._ops(1)
+        self._pending_ops += 1
         self._emit_ref(stmt.ref_id, base + offset, size=size,
                        is_store=stmt.is_store)
-        yield from self._drain()
 
     def _exec_ptr_array_ref(self, stmt):
         base = self._ptrs[stmt.ptr.name]
         idx = self._sub_value(stmt.sub)
-        self._ops(1)
+        self._pending_ops += 1
         self._emit_ref(stmt.ref_id, base + idx * stmt.elem_size,
                        size=stmt.elem_size, is_store=stmt.is_store)
-        yield from self._drain()
 
     def _advance_pointer(self, name, value):
         """Follow a loaded pointer; restart the traversal on null."""
@@ -322,10 +432,9 @@ class Interpreter:
     def _exec_ptr_chase(self, stmt):
         name = stmt.ptr.name
         addr = self._ptrs[name] + stmt.field.offset
-        self._ops(1)
+        self._pending_ops += 1
         self._emit_ref(stmt.ref_id, addr, size=8)
         self._advance_pointer(name, self.space.load_word(addr))
-        yield from self._drain()
 
     def _exec_ptr_select(self, stmt):
         name = stmt.ptr.name
@@ -334,26 +443,24 @@ class Interpreter:
         else:
             field = self.rng.choice(stmt.fields)
         addr = self._ptrs[name] + field.offset
-        self._ops(2)  # compare + branch of the data-dependent walk
+        self._pending_ops += 2  # compare + branch of the data-dependent walk
         self._emit_ref(stmt.ref_id, addr, size=8)
         self._advance_pointer(name, self.space.load_word(addr))
-        yield from self._drain()
 
     def _exec_ptr_assign_field(self, stmt):
         addr = self._ptrs[stmt.src.name] + stmt.field.offset
-        self._ops(1)
+        self._pending_ops += 1
         self._emit_ref(stmt.ref_id, addr, size=8)
         value = self.space.load_word(addr)
         if value is None or value == 0:
             value = self._ptrs[stmt.src.name]
         self._ptrs[stmt.dst.name] = value
         self._ptr_reset.setdefault(stmt.dst.name, value)
-        yield from self._drain()
 
     def _exec_ptr_assign_from_array(self, stmt):
         idx = self._sub_value(stmt.sub)
         addr = stmt.array.base + idx * 8
-        self._ops(1)
+        self._pending_ops += 1
         self._emit_ref(stmt.ref_id, addr, size=8)
         value = self.space.load_word(addr)
         if value is None or value == 0:
@@ -362,11 +469,9 @@ class Interpreter:
             )
         self._ptrs[stmt.ptr.name] = value
         self._ptr_reset[stmt.ptr.name] = value
-        yield from self._drain()
 
     def _exec_compute(self, stmt):
-        self._ops(int(stmt.ops * self.ops_scale))
-        return iter(())
+        self._pending_ops += int(stmt.ops * self.ops_scale)
 
     _HANDLERS = {
         Block: _exec_block,

@@ -159,3 +159,43 @@ class TestInvalidate:
     def test_invalidate_absent_returns_false(self):
         cache = make_cache()
         assert not cache.invalidate(0x1000)
+
+
+class TestPrefetchAccuracy:
+    def prime(self):
+        """Three prefetch fills: one referenced, one evicted untouched,
+        one still resident and untouched."""
+        cache = make_cache(1024, 4, 64)  # 4 sets; same-set stride = 256
+        cache.fill(0x000, prefetched=True)
+        cache.fill(0x040, prefetched=True)
+        cache.fill(0x080, prefetched=True)
+        cache.access(0x000)  # useful
+        for b in (0x140, 0x240, 0x340, 0x440):  # evict 0x040's whole set
+            cache.fill(b)
+        assert cache.stats.useful_prefetches == 1
+        assert cache.stats.useless_evicted_prefetches == 1
+        return cache
+
+    def test_mid_run_reading_ignores_stragglers(self):
+        cache = self.prime()
+        # Decided prefetches only: 1 useful of 2 decided.
+        assert cache.stats.prefetch_accuracy() == pytest.approx(0.5)
+
+    def test_resident_unreferenced_folds_into_denominator(self):
+        cache = self.prime()
+        stragglers = cache.resident_unreferenced_prefetches()
+        assert stragglers == 1
+        assert cache.stats.prefetch_accuracy(
+            resident_unreferenced=stragglers) == pytest.approx(1 / 3)
+
+    def test_end_of_run_denominator_equals_fills(self):
+        cache = self.prime()
+        stats = cache.stats
+        decided = stats.useful_prefetches + stats.useless_evicted_prefetches
+        assert decided + cache.resident_unreferenced_prefetches() \
+            == stats.prefetch_fills
+
+    def test_no_prefetches_reads_zero(self):
+        cache = make_cache()
+        assert cache.stats.prefetch_accuracy() == 0.0
+        assert cache.stats.prefetch_accuracy(resident_unreferenced=0) == 0.0

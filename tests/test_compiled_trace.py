@@ -1,0 +1,197 @@
+"""Compiled-trace correctness and fast-path/slow-path equivalence.
+
+Three layers of guarantees, matching DESIGN.md's equivalence contract:
+
+* lowering an interpreter run to columns (``run_columns``) yields exactly
+  the trace ``CompiledTrace.from_events`` builds from the same run's
+  event stream, for every registered workload, hinted and unhinted
+  (directives included);
+* the on-disk form round-trips losslessly, and the trace store serves
+  memory/disk hits without rebuilding;
+* the optimized pipeline end to end (compiled trace + fused simulate
+  loop + hierarchy fast paths) produces a ``RunResult.to_dict()``
+  byte-identical to the ``reference=True`` slow path for every scheme in
+  the registry.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler.driver import compile_hints
+from repro.mem.space import AddressSpace
+from repro.sim.config import MachineConfig
+from repro.sim.runner import SCHEMES, execute
+from repro.sim.spec import RunSpec
+from repro.trace.compiled import (
+    K_BOUND,
+    K_INDIRECT,
+    K_SETBASE,
+    CompiledTrace,
+)
+from repro.trace.events import MemRef
+from repro.trace.interp import Interpreter
+from repro.trace.store import TraceKey, TraceStore, format_event
+from repro.workloads import get_workload, workload_names
+
+LIMIT = 1200
+
+
+def build_interpreter(name, hinted, indirect_mode="instruction"):
+    """A fresh interpreter for ``name``, with or without compiled hints."""
+    config = MachineConfig.scaled()
+    workload = get_workload(name)
+    space = AddressSpace()
+    built = workload.build(space, scale=1.0)
+    program = built.program.finalize()
+    result = (
+        compile_hints(program, l2_size=config.l2_size,
+                      block_size=config.block_size, policy="default",
+                      variable_regions=True, indirect_mode=indirect_mode)
+        if hinted else None
+    )
+    interp = Interpreter(program, space, result, seed=12345,
+                         block_size=config.block_size,
+                         ops_scale=workload.ops_scale)
+    for pname, addr in built.pointer_bindings.items():
+        interp.bind_pointer(pname, addr)
+    return interp
+
+
+def assert_traces_equal(a, b):
+    assert a.kinds == b.kinds
+    assert a.f0 == b.f0
+    assert a.f1 == b.f1
+    assert a.f2 == b.f2
+    assert a.ref_names == b.ref_names
+    assert a.ref_count == b.ref_count
+
+
+class TestReplayEquality:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_columns_match_event_stream_unhinted(self, name):
+        columnar = build_interpreter(name, hinted=False).run_columns(LIMIT)
+        events = list(build_interpreter(name, hinted=False).run(limit=LIMIT))
+        assert_traces_equal(columnar, CompiledTrace.from_events(events))
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_columns_match_event_stream_hinted(self, name):
+        columnar = build_interpreter(name, hinted=True).run_columns(LIMIT)
+        events = list(build_interpreter(name, hinted=True).run(limit=LIMIT))
+        assert_traces_equal(columnar, CompiledTrace.from_events(events))
+
+    @pytest.mark.parametrize("name,mode,kind", [
+        ("mesa", "instruction", K_BOUND),
+        ("vpr", "instruction", K_INDIRECT),
+        ("vpr", "hintbit", K_SETBASE),
+    ])
+    def test_directives_survive_lowering(self, name, mode, kind):
+        """Each directive event kind round-trips through lowering; the
+        reconstructed stream equals the source field for field."""
+        events = list(
+            build_interpreter(name, hinted=True, indirect_mode=mode)
+            .run(limit=LIMIT))
+        trace = CompiledTrace.from_events(events)
+        assert kind in set(trace.kinds)
+        assert [format_event(e) for e in trace.events()] \
+            == [format_event(e) for e in events]
+        columnar = build_interpreter(
+            name, hinted=True, indirect_mode=mode).run_columns(LIMIT)
+        assert_traces_equal(columnar, trace)
+
+    def test_ref_count_matches_memrefs(self):
+        events = list(build_interpreter("mcf", hinted=False).run(limit=LIMIT))
+        trace = CompiledTrace.from_events(events)
+        assert trace.ref_count == sum(
+            1 for e in events if isinstance(e, MemRef))
+        assert trace.ref_count == LIMIT
+
+
+class TestDiskForm:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = build_interpreter("swim", hinted=True).run_columns(LIMIT)
+        path = tmp_path / "swim.trace"
+        trace.save(str(path))
+        assert_traces_equal(CompiledTrace.load(str(path)), trace)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b'{"magic": "nope"}\n')
+        with pytest.raises(ValueError):
+            CompiledTrace.load(str(path))
+
+    def test_load_rejects_truncation(self, tmp_path):
+        trace = build_interpreter("swim", hinted=False).run_columns(LIMIT)
+        path = tmp_path / "cut.trace"
+        trace.save(str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            CompiledTrace.load(str(path))
+
+
+class TestTraceStore:
+    def key(self, limit=LIMIT):
+        return TraceKey("swim", 1.0, 12345, limit, 64, None)
+
+    def test_miss_builds_then_memory_hit(self, tmp_path):
+        store = TraceStore(disk_dir=str(tmp_path))
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return build_interpreter("swim", hinted=False).run_columns(LIMIT)
+
+        a = store.get_or_build(self.key(), builder)
+        b = store.get_or_build(self.key(), builder)
+        assert a is b
+        assert len(builds) == 1
+        assert store.misses == 1
+        assert store.memory_hits == 1
+
+    def test_disk_hit_across_store_instances(self, tmp_path):
+        trace = build_interpreter("swim", hinted=False).run_columns(LIMIT)
+        TraceStore(disk_dir=str(tmp_path)).put(self.key(), trace)
+        fresh = TraceStore(disk_dir=str(tmp_path))
+        loaded = fresh.get(self.key())
+        assert loaded is not None
+        assert fresh.disk_hits == 1
+        assert_traces_equal(loaded, trace)
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        store = TraceStore(disk_dir=str(tmp_path))
+        trace = build_interpreter("swim", hinted=False).run_columns(LIMIT)
+        store.put(self.key(), trace)
+        assert store.get(self.key(limit=LIMIT + 1)) is None
+        assert store.misses == 1
+
+    def test_memory_only_store(self):
+        store = TraceStore(disk_dir=False)
+        assert store.path_for(self.key()) is None
+        trace = build_interpreter("swim", hinted=False).run_columns(LIMIT)
+        store.put(self.key(), trace)
+        assert store.get(self.key()) is trace
+
+    def test_memory_bound_evicts_lru(self):
+        store = TraceStore(disk_dir=False, max_memory_traces=2)
+        trace = build_interpreter("swim", hinted=False).run_columns(LIMIT)
+        keys = [TraceKey("swim", 1.0, 12345, n, 64, None) for n in (1, 2, 3)]
+        for k in keys:
+            store.put(k, trace)
+        assert store.get(keys[0]) is None
+        assert store.get(keys[2]) is trace
+
+
+class TestFastSlowEquivalence:
+    """The tentpole's non-negotiable: optimizations preserve semantics."""
+
+    WORKLOADS = ("mcf", "swim", "vpr")  # vpr exercises indirect directives
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_run_result_byte_identical(self, workload, scheme):
+        spec = RunSpec.create(workload, scheme, limit_refs=LIMIT)
+        fast = execute(spec).to_dict()
+        slow = execute(spec, reference=True).to_dict()
+        assert json.dumps(fast, sort_keys=True) \
+            == json.dumps(slow, sort_keys=True)

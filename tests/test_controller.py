@@ -119,3 +119,90 @@ class TestAccounting:
         assert stats.writeback_blocks == 1
         assert stats.prefetch_blocks == 1
         assert controller.prefetches_issued == 1
+
+
+class CountingQueue:
+    """A head-stable region-queue stand-in that counts pops."""
+
+    def __init__(self, blocks, queued_at=0):
+        self.pending = [PrefetchRequest(b, queued_at) for b in blocks]
+        self._held = None
+        self.pops = 0
+
+    def has_candidates(self):
+        return self._held is not None or bool(self.pending)
+
+    def pop_candidate(self, now, dram):
+        self.pops += 1
+        if self._held is not None:
+            request, self._held = self._held, None
+            return request
+        return self.pending.pop(0) if self.pending else None
+
+    def push_back(self, request):
+        self._held = request
+
+
+class QueuedPrefetcher:
+    """Delegates issue to a region queue, like SRP/GRP engines."""
+
+    def __init__(self, queue):
+        self.queue = queue
+        self.has_candidates = queue.has_candidates
+        self.dropped = []
+
+    def on_candidate_dropped(self, request):
+        self.dropped.append(request.block)
+
+
+class TestEarlyExit:
+    def test_no_prefetcher_is_a_noop(self):
+        controller = MemoryController(DRAMSystem(DRAMConfig()), None)
+        controller.issue_prefetches(now=1_000)  # must not raise
+
+    def test_empty_queue_skips_candidate_pop(self):
+        queue = CountingQueue([])
+        controller = MemoryController(
+            DRAMSystem(DRAMConfig()), QueuedPrefetcher(queue))
+        controller.issue_prefetches(now=1_000)
+        assert queue.pops == 0
+
+
+class TestBlockedIssueCache:
+    def make_queued(self, blocks, queued_at=0):
+        queue = CountingQueue(blocks, queued_at)
+        controller = MemoryController(
+            DRAMSystem(DRAMConfig()), QueuedPrefetcher(queue))
+        fills = []
+        controller.fill_prefetch = lambda req, ready: fills.append(
+            (req.block, ready))
+        return controller, queue, fills
+
+    def test_held_candidate_skips_reprobe_until_bound(self):
+        controller, queue, fills = self.make_queued([0x1000], queued_at=50)
+        controller.issue_prefetches(now=50)  # no idle time yet: held
+        assert fills == []
+        assert queue.pops == 1
+        assert controller._blocked_until == 50
+        controller.issue_prefetches(now=50)  # gated: no pop
+        assert queue.pops == 1
+        # Bound expired: the probe issues the held candidate, then pops
+        # once more and finds the queue empty.
+        controller.issue_prefetches(now=51)
+        assert queue.pops == 3
+        assert [b for b, _ in fills] == [0x1000]
+        assert controller._blocked_until == -1.0
+
+    def test_reference_mode_probes_every_call(self):
+        controller, queue, fills = self.make_queued([0x1000], queued_at=50)
+        controller._cache_blocked = False
+        controller.issue_prefetches(now=50)
+        controller.issue_prefetches(now=50)
+        assert queue.pops == 2
+        assert fills == []
+
+    def test_gate_not_armed_for_queueless_engines(self):
+        controller, prefetcher, fills = make([0x1000], queued_at=50)
+        controller.issue_prefetches(now=50)
+        assert fills == []
+        assert controller._blocked_until == -1.0

@@ -155,3 +155,53 @@ class TestStatsConsistency:
             ready = hier.access(base + k * 64, now=now)
             assert ready >= now
             now = ready + 1
+
+
+class TestPruneReady:
+    """The ready-time map prunes via its (ready, block) min-heap."""
+
+    def prime(self, hier, entries):
+        import heapq
+        for block, ready in entries:
+            hier._prefetch_ready[block] = ready
+            heapq.heappush(hier._ready_heap, (ready, block))
+
+    def test_prune_drops_only_landed_entries(self):
+        hier, _, _ = make()
+        self.prime(hier, [(0x40, 100.0), (0x80, 200.0), (0xC0, 300.0)])
+        hier._prune_ready(200.0)
+        assert hier._prefetch_ready == {0xC0: 300.0}
+
+    def test_stale_heap_entries_are_skipped(self):
+        hier, _, _ = make()
+        self.prime(hier, [(0x40, 100.0)])
+        # A re-prefetch of the same block superseded the first fill: the
+        # dict holds the new ready time, the old heap entry is stale.
+        self.prime(hier, [(0x40, 500.0)])
+        hier._prune_ready(200.0)
+        assert hier._prefetch_ready == {0x40: 500.0}
+
+    def test_prune_after_demand_touch_is_safe(self):
+        hier, _, _ = make()
+        self.prime(hier, [(0x40, 100.0), (0x80, 400.0)])
+        del hier._prefetch_ready[0x40]  # demand touch popped it
+        hier._prune_ready(300.0)
+        assert hier._prefetch_ready == {0x80: 400.0}
+
+    def test_late_prefetch_hit_survives_prune(self):
+        """Regression: pruning must not drop in-flight ready times, or a
+        late prefetch hit would stop waiting for its data."""
+        hier, space, config = make()
+        base = space.malloc(1 << 12, align=4096)
+        block = base & hier._block_mask
+        hier.l2.fill_prefetch_block(block)
+        self.prime(hier, [(block, 5000.0)])
+        hier._prune_ready(100.0)
+        assert hier._prefetch_ready == {block: 5000.0}
+        t = hier.access(block, now=200.0)
+        assert hier.stats.late_prefetch_hits == 1
+        assert t == 5000.0
+        # The touch popped the map; the stale heap entry stays benign.
+        assert hier._prefetch_ready == {}
+        hier._prune_ready(10_000.0)
+        assert hier._ready_heap == []

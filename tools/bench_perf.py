@@ -1,0 +1,295 @@
+"""Performance benchmark harness: cold-cache refs/sec per scheme.
+
+Measures the optimized simulation pipeline (compiled traces + fused
+simulate loop + hierarchy fast paths) against the ``reference=True`` slow
+path on a small scheme x workload matrix, cold-cache (the in-process
+trace/build caches are cleared before every timed run and disk
+persistence is disabled), and records the results in ``BENCH_perf.json``
+at the repository root.
+
+Per case the file records CPU seconds, refs/sec, and the optimized-path
+speedup over the reference path.  The speedup ratio is the number CI
+gates on: absolute refs/sec varies with the host, but the fast/slow
+ratio on the same interpreter is stable, so a >30% drop against the
+committed ratio means a real fast-path regression.
+
+Modes::
+
+    PYTHONPATH=src python tools/bench_perf.py            # full matrix, rewrites BENCH_perf.json
+    PYTHONPATH=src python tools/bench_perf.py --smoke    # tiny matrix, schema + regression gate
+    PYTHONPATH=src python tools/bench_perf.py --check    # schema validation only, no measurement
+
+``--smoke`` and ``--check`` never write the file; both exit nonzero on a
+schema violation, ``--smoke`` also on a >30% speedup regression.
+
+The full mode additionally re-measures the end-to-end table1 sweep
+(``python -m repro.experiments table1 --refs 3000 --no-cache --jobs 1``)
+and carries forward the recorded pre-optimization baseline for that
+command (measured once on the revision named by ``baseline_rev``; pass
+``--baseline-cpu``/``--baseline-rev`` to re-record it).
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import resource
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+os.environ.setdefault("REPRO_TRACE_CACHE", "off")
+
+from repro.sim import runner  # noqa: E402
+from repro.sim.runner import execute  # noqa: E402
+from repro.sim.spec import RunSpec  # noqa: E402
+from repro.trace.store import default_store  # noqa: E402
+
+SCHEMA_VERSION = 1
+OUT_NAME = "BENCH_perf.json"
+REGRESSION_TOLERANCE = 0.30
+
+FULL_MATRIX = [
+    ("ammp", "none"), ("ammp", "srp"), ("ammp", "grp"),
+    ("mcf", "none"), ("mcf", "srp"), ("mcf", "grp"),
+    ("swim", "none"), ("swim", "srp"), ("swim", "grp"),
+]
+SMOKE_MATRIX = [("mcf", "srp"), ("swim", "grp")]
+
+TABLE1_CMD = [
+    "-m", "repro.experiments", "table1",
+    "--refs", "3000", "--no-cache", "--jobs", "1",
+]
+
+
+def _cold():
+    """Drop every in-process cache so the next run pays full cost."""
+    default_store().clear_memory()
+    runner._BUILD_CACHE.clear()
+
+
+def _time_run(spec, reference, repeats):
+    """Best-of-``repeats`` CPU seconds for one cold execution of ``spec``."""
+    best = float("inf")
+    for _ in range(repeats):
+        _cold()
+        start = time.process_time()
+        execute(spec, reference=reference)
+        best = min(best, time.process_time() - start)
+    return best
+
+
+def measure_case(workload, scheme, refs, repeats):
+    spec = RunSpec.create(workload, scheme, limit_refs=refs)
+    fast = _time_run(spec, reference=False, repeats=repeats)
+    slow = _time_run(spec, reference=True, repeats=repeats)
+    return {
+        "workload": workload,
+        "scheme": scheme,
+        "refs": refs,
+        "optimized": {"cpu_s": round(fast, 4),
+                      "refs_per_s": round(refs / fast, 1)},
+        "reference": {"cpu_s": round(slow, 4),
+                      "refs_per_s": round(refs / slow, 1)},
+        "speedup_vs_reference": round(slow / fast, 3),
+    }
+
+
+def measure_table1():
+    """CPU seconds for the end-to-end table1 sweep, in a child process."""
+    before = resource.getrusage(resource.RUSAGE_CHILDREN)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    subprocess.run(
+        [sys.executable] + TABLE1_CMD, cwd=str(REPO_ROOT), env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, check=True,
+    )
+    after = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return (after.ru_utime - before.ru_utime) \
+        + (after.ru_stime - before.ru_stime)
+
+
+# ----------------------------------------------------------------------
+# Schema validation
+# ----------------------------------------------------------------------
+
+def validate(doc):
+    """Return a list of schema violations (empty when the doc is valid)."""
+    errors = []
+
+    def need(obj, key, types, where):
+        value = obj.get(key)
+        if not isinstance(value, types) or (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool) and value <= 0):
+            errors.append("%s.%s missing or invalid: %r" % (where, key, value))
+            return None
+        return value
+
+    if doc.get("kind") != "repro-bench-perf":
+        errors.append("kind != repro-bench-perf")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append("schema_version != %d" % SCHEMA_VERSION)
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append("cases missing or empty")
+        cases = []
+    for i, case in enumerate(cases):
+        where = "cases[%d]" % i
+        need(case, "workload", str, where)
+        need(case, "scheme", str, where)
+        need(case, "refs", int, where)
+        need(case, "speedup_vs_reference", (int, float), where)
+        for side in ("optimized", "reference"):
+            timing = case.get(side)
+            if not isinstance(timing, dict):
+                errors.append("%s.%s missing" % (where, side))
+                continue
+            need(timing, "cpu_s", (int, float), "%s.%s" % (where, side))
+            need(timing, "refs_per_s", (int, float), "%s.%s" % (where, side))
+    table1 = doc.get("table1")
+    if table1 is not None:
+        need(table1, "command", str, "table1")
+        need(table1, "optimized_cpu_s", (int, float), "table1")
+        if table1.get("baseline_cpu_s") is not None:
+            need(table1, "baseline_cpu_s", (int, float), "table1")
+            need(table1, "speedup", (int, float), "table1")
+    return errors
+
+
+def check_regressions(committed, measured):
+    """Compare measured speedups against the committed baselines."""
+    failures = []
+    by_case = {(c["workload"], c["scheme"]): c for c in committed["cases"]}
+    for case in measured:
+        baseline = by_case.get((case["workload"], case["scheme"]))
+        if baseline is None:
+            continue
+        floor = baseline["speedup_vs_reference"] * (1 - REGRESSION_TOLERANCE)
+        got = case["speedup_vs_reference"]
+        tag = "%s/%s" % (case["workload"], case["scheme"])
+        if got < floor:
+            failures.append(
+                "%s: speedup %.2fx below floor %.2fx (committed %.2fx)"
+                % (tag, got, floor, baseline["speedup_vs_reference"]))
+        else:
+            print("  %-12s %.2fx (committed %.2fx, floor %.2fx) ok"
+                  % (tag, got, baseline["speedup_vs_reference"], floor))
+    return failures
+
+
+# ----------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny matrix; gate against committed numbers, "
+                             "do not rewrite the file")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the committed file's schema only")
+    parser.add_argument("--refs", type=int, default=3000,
+                        help="references per timed run (default 3000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per case; best is kept")
+    parser.add_argument("--out", default=str(REPO_ROOT / OUT_NAME))
+    parser.add_argument("--skip-table1", action="store_true",
+                        help="skip the end-to-end table1 measurement")
+    parser.add_argument("--baseline-cpu", type=float, default=None,
+                        help="record this as the table1 pre-optimization "
+                             "baseline CPU time (seconds)")
+    parser.add_argument("--baseline-rev", default=None,
+                        help="revision the table1 baseline was measured on")
+    args = parser.parse_args(argv)
+
+    out_path = pathlib.Path(args.out)
+    committed = None
+    if out_path.exists():
+        try:
+            committed = json.loads(out_path.read_text())
+        except ValueError:
+            print("error: %s is not valid JSON" % out_path)
+            return 1
+
+    if args.check or args.smoke:
+        if committed is None:
+            print("error: %s not found" % out_path)
+            return 1
+        errors = validate(committed)
+        if errors:
+            print("schema violations in %s:" % out_path)
+            for error in errors:
+                print("  - " + error)
+            return 1
+        print("%s: schema ok (%d cases)" % (out_path.name,
+                                            len(committed["cases"])))
+        if args.check:
+            return 0
+
+    matrix = SMOKE_MATRIX if args.smoke else FULL_MATRIX
+    refs = min(args.refs, 1500) if args.smoke else args.refs
+    repeats = 2 if args.smoke else args.repeats
+    cases = []
+    for workload, scheme in matrix:
+        case = measure_case(workload, scheme, refs, repeats)
+        print("%-6s %-8s optimized %8.0f refs/s   reference %8.0f refs/s"
+              "   speedup %.2fx"
+              % (workload, scheme, case["optimized"]["refs_per_s"],
+                 case["reference"]["refs_per_s"],
+                 case["speedup_vs_reference"]))
+        cases.append(case)
+
+    if args.smoke:
+        failures = check_regressions(committed, cases)
+        if failures:
+            print("refs/sec regression gate FAILED:")
+            for failure in failures:
+                print("  - " + failure)
+            return 1
+        print("regression gate ok (tolerance %d%%)"
+              % int(REGRESSION_TOLERANCE * 100))
+        return 0
+
+    doc = {
+        "kind": "repro-bench-perf",
+        "schema_version": SCHEMA_VERSION,
+        "cases": cases,
+    }
+    if not args.skip_table1:
+        optimized_cpu = measure_table1()
+        table1 = {
+            "command": "python " + " ".join(TABLE1_CMD),
+            "optimized_cpu_s": round(optimized_cpu, 3),
+            "baseline_cpu_s": None,
+            "baseline_rev": None,
+            "speedup": None,
+        }
+        previous = (committed or {}).get("table1") or {}
+        baseline_cpu = (args.baseline_cpu
+                        if args.baseline_cpu is not None
+                        else previous.get("baseline_cpu_s"))
+        baseline_rev = args.baseline_rev or previous.get("baseline_rev")
+        if baseline_cpu:
+            table1["baseline_cpu_s"] = round(baseline_cpu, 3)
+            table1["baseline_rev"] = baseline_rev
+            table1["speedup"] = round(baseline_cpu / optimized_cpu, 2)
+            print("table1: %.2fs vs %.2fs baseline (%s) -> %.2fx"
+                  % (optimized_cpu, baseline_cpu, baseline_rev,
+                     table1["speedup"]))
+        else:
+            print("table1: %.2fs (no recorded baseline)" % optimized_cpu)
+        doc["table1"] = table1
+    errors = validate(doc)
+    if errors:
+        print("internal error: generated document fails validation:")
+        for error in errors:
+            print("  - " + error)
+        return 1
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print("wrote %s" % out_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
