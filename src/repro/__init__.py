@@ -10,6 +10,7 @@ Public API highlights:
 * :class:`repro.sim.config.MachineConfig` — the simulated machine.
 * :mod:`repro.compiler` — the hint-generating mini-compiler.
 * :mod:`repro.prefetch` — GRP and every baseline engine.
+* :mod:`repro.adapt` — feedback-directed adaptive prefetch control.
 * :mod:`repro.workloads` — the 18 synthetic SPEC2000-like benchmarks.
 * :mod:`repro.experiments` — regenerate every table and figure.
 """
@@ -21,7 +22,7 @@ from repro.sim.runner import SCHEMES, execute, run_workload
 from repro.sim.spec import RunSpec
 from repro.sim.stats import RunResult, SimStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "MachineConfig", "ResultCache", "RunResult", "RunSpec", "SCHEMES",

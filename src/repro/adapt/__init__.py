@@ -1,0 +1,32 @@
+"""Feedback-directed adaptive prefetch control.
+
+Closes the loop from the observability counters (PR 2) to the
+prefetcher/controller knobs: a cheap access-count-epoch
+:class:`FeedbackMonitor` feeds a pluggable :class:`ThrottlePolicy`
+(default: :class:`LadderPolicy`, an aggressiveness ladder with
+hysteresis), and an :class:`AdaptiveController` applies the decisions to
+the live machine between epochs.  The adaptive engines themselves
+(``srp-adaptive``, ``grp-adaptive``) live in
+:mod:`repro.adapt.engines`.
+"""
+
+from repro.adapt.controller import AdaptiveController
+from repro.adapt.monitor import EpochSample, FeedbackMonitor
+from repro.adapt.policy import (
+    ADAPT_POLICIES,
+    KnobState,
+    LadderPolicy,
+    ThrottlePolicy,
+    resolve_policy,
+)
+
+__all__ = [
+    "ADAPT_POLICIES",
+    "AdaptiveController",
+    "EpochSample",
+    "FeedbackMonitor",
+    "KnobState",
+    "LadderPolicy",
+    "ThrottlePolicy",
+    "resolve_policy",
+]

@@ -1,0 +1,132 @@
+"""Adaptive variants of the SRP and GRP prefetch engines.
+
+Each subclass is the static engine plus an
+:class:`~repro.adapt.controller.AdaptiveController` built at attach
+time.  The engine exposes two callbacks the controller's knob
+application uses (:meth:`apply_region_size`, :meth:`flush_pending`) and
+gates its own miss/directive triggers on the ``enabled`` knob.  All
+other knobs (issue budget, insertion depth) live in the memory
+controller and the L2 and need no engine cooperation.
+
+The hierarchy discovers the controller through the engine's ``adapt``
+attribute after attach and hands it to the CPU replay loops, which call
+``adapt.note_access`` per memory reference.
+"""
+
+from repro.adapt.controller import AdaptiveController
+from repro.prefetch.grp import GRPPrefetcher
+from repro.prefetch.srp import SRPPrefetcher
+from repro.trace.events import IndirectPrefetch
+
+
+class _ThrottledEngineMixin:
+    """Knob plumbing shared by the adaptive engines."""
+
+    def _attach_adapt(self, hierarchy, config):
+        self.adapt = AdaptiveController(
+            self, hierarchy, config, policy=self._policy_spec)
+
+    # -- knob application callbacks ------------------------------------
+    def apply_region_size(self, region_size):
+        """Shrink/grow the default region allocated per qualifying miss."""
+        self.queue.region_size = region_size
+
+    def flush_pending(self):
+        """Drop all queued candidates (the disable transition).
+
+        Also disarms the memory controller's blocked-issue cache: its
+        cached bound describes the held candidate that was just
+        discarded, and the next probe must observe the empty queue.
+        Returns the number of candidate blocks dropped.
+        """
+        flushed = self.queue.flush()
+        controller = self.hierarchy.controller
+        controller._blocked_until = -1.0
+        controller._held_block = -1
+        return flushed
+
+    def stats_snapshot(self):
+        snap = super().stats_snapshot()
+        snap["suppressed_misses"] = self.suppressed_misses
+        return snap
+
+
+class AdaptiveSRPPrefetcher(_ThrottledEngineMixin, SRPPrefetcher):
+    """SRP under feedback control: hint-free throttling.
+
+    The interesting comparison: plain SRP's weakness is indiscriminate
+    aggression (huge traffic, pollution on low-spatial-locality codes),
+    which GRP suppresses with compiler hints.  This engine suppresses it
+    with runtime feedback instead — no hints, no recompilation.
+    """
+
+    name = "srp-adaptive"
+
+    def __init__(self, policy=None):
+        super().__init__()
+        self._policy_spec = policy
+        self.adapt = None
+        #: L2 misses ignored while the throttle had the engine disabled.
+        self.suppressed_misses = 0
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self._attach_adapt(hierarchy, config)
+
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        if not self.adapt.knobs.enabled:
+            self.suppressed_misses += 1
+            return
+        self.queue.allocate_region(block, now)
+
+
+class AdaptiveGRPPrefetcher(_ThrottledEngineMixin, GRPPrefetcher):
+    """GRP with the same runtime control plane layered over the hints.
+
+    The compiler hints already do the coarse filtering; the feedback
+    loop adds a safety net for phases where even hinted prefetching
+    misbehaves (hints are static, behavior is not).  The region-size
+    knob acts as a *cap* over the hint-derived size, so variable-size
+    regions keep working below the cap.
+    """
+
+    name = "grp-adaptive"
+
+    def __init__(self, hint_table=None, variable_regions=True, policy=None):
+        super().__init__(hint_table, variable_regions=variable_regions)
+        self._policy_spec = policy
+        self.adapt = None
+        self.suppressed_misses = 0
+        #: Indirect-prefetch directives ignored while disabled.
+        self.suppressed_directives = 0
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self._attach_adapt(hierarchy, config)
+
+    def _region_size_for(self, hint):
+        size = super()._region_size_for(hint)
+        cap = self.adapt.knobs.region_size
+        return size if size <= cap else cap
+
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        if not self.adapt.knobs.enabled:
+            self.suppressed_misses += 1
+            return
+        super().on_l2_miss(block, addr, ref_id, hint, now)
+
+    def on_directive(self, event, now):
+        # Loop bounds and indirect-base registers are *state*, not
+        # prefetches: keep tracking them while disabled so a re-enable
+        # resumes with current values.  Only the directive that actually
+        # issues prefetches is gated.
+        if isinstance(event, IndirectPrefetch) \
+                and not self.adapt.knobs.enabled:
+            self.suppressed_directives += 1
+            return
+        super().on_directive(event, now)
+
+    def stats_snapshot(self):
+        snap = super().stats_snapshot()
+        snap["suppressed_directives"] = self.suppressed_directives
+        return snap

@@ -1,0 +1,150 @@
+"""Epoch-based feedback monitor for adaptive prefetch control.
+
+The monitor is the "hardware counter sampling" half of the feedback loop
+(cf. Srinath et al.'s feedback-directed prefetching and Prat et al.'s
+runtime-guided reconfiguration on POWER7): nothing is computed per
+access.  The core's replay loops count memory references and call
+:meth:`~repro.adapt.controller.AdaptiveController.note_access` once per
+reference; when an access-count epoch completes, the controller asks the
+monitor for one :class:`EpochSample`.
+
+Epochs are defined in *accesses*, not wall cycles, deliberately: a
+cycle-based epoch would sample more often exactly when prefetching is
+working (IPC up, cycles per access down), coupling the control loop's
+gain to its own output.  An access-count epoch gives every policy
+decision the same amount of program behavior to judge.
+
+The sample is computed as **deltas** of counters the simulator already
+maintains (L2 cache stats, the metrics collector's timeliness counters,
+DRAM channel busy cycles).  Sampling re-baselines the monitor, so each
+epoch's sample covers exactly that epoch — the "counters reset at epoch
+boundaries" contract the tests pin down — without ever zeroing the
+underlying cumulative statistics the run's final report uses.
+"""
+
+
+class EpochSample:
+    """Derived feedback signals for one completed epoch."""
+
+    __slots__ = (
+        "accesses", "cycles", "fills", "useful", "accuracy",
+        "pollution_rate", "late_fraction", "dram_busy_frac",
+        "demand_misses",
+    )
+
+    def __init__(self, accesses, cycles, fills, useful, accuracy,
+                 pollution_rate, late_fraction, dram_busy_frac,
+                 demand_misses):
+        #: Memory references in the epoch (the epoch length).
+        self.accesses = accesses
+        #: Core cycles the epoch spanned.
+        self.cycles = cycles
+        #: L2 prefetch fills during the epoch.
+        self.fills = fills
+        #: Prefetched lines first-touched by demand during the epoch.
+        self.useful = useful
+        #: ``useful / fills`` clamped to [0, 1]; None when no fills
+        #: happened (no signal to judge).
+        self.accuracy = accuracy
+        #: Fraction of the epoch's L2 demand misses attributed to
+        #: prefetch-caused evictions (shadow-tag pollution).
+        self.pollution_rate = pollution_rate
+        #: Of the prefetched lines first-used this epoch, the fraction
+        #: whose data had not fully arrived (late prefetches).
+        self.late_fraction = late_fraction
+        #: Mean DRAM channel busy fraction over the epoch's cycles.
+        self.dram_busy_frac = dram_busy_frac
+        #: L2 demand misses during the epoch.
+        self.demand_misses = demand_misses
+
+    def to_dict(self):
+        """Plain-data form for the knob trajectory (JSON-safe, rounded)."""
+        return {
+            "accesses": self.accesses,
+            "fills": self.fills,
+            "useful": self.useful,
+            "accuracy": (None if self.accuracy is None
+                         else round(self.accuracy, 6)),
+            "pollution_rate": round(self.pollution_rate, 6),
+            "late_fraction": round(self.late_fraction, 6),
+            "dram_busy_frac": round(self.dram_busy_frac, 6),
+            "demand_misses": self.demand_misses,
+        }
+
+    def __repr__(self):
+        return ("EpochSample(acc=%s poll=%.3f late=%.3f busy=%.3f "
+                "fills=%d)" % (
+                    "-" if self.accuracy is None
+                    else "%.3f" % self.accuracy,
+                    self.pollution_rate, self.late_fraction,
+                    self.dram_busy_frac, self.fills))
+
+
+class FeedbackMonitor:
+    """Delta-samples the hierarchy's counters at epoch boundaries.
+
+    Constructed while the prefetcher attaches, which is *before* the
+    hierarchy's metrics collector exists — so the baseline starts at
+    all-zero counters (correct: every counter starts at zero) and the
+    hierarchy is re-read lazily at each sample.
+    """
+
+    def __init__(self, hierarchy):
+        self.hierarchy = hierarchy
+        self.samples_taken = 0
+        self._last_cycle = 0.0
+        # Baseline counter values at the previous epoch boundary:
+        # (fills, useful, timely, late, pollution, demand_misses, busy).
+        self._last = (0, 0, 0, 0, 0, 0, 0.0)
+
+    def sample(self, now, accesses):
+        """Close the current epoch at cycle ``now``; return its sample.
+
+        ``accesses`` is the number of references the epoch covered.
+        Re-baselines the monitor as a side effect.
+        """
+        hierarchy = self.hierarchy
+        l2 = hierarchy.l2.stats
+        metrics = hierarchy.metrics
+        channel_busy = hierarchy.dram.channel_busy_cycles
+        busy = 0.0
+        for cycles in channel_busy:
+            busy += cycles
+        current = (
+            l2.prefetch_fills, l2.useful_prefetches,
+            metrics.timely_prefetch_uses, metrics.late_prefetch_uses,
+            l2.pollution_misses, l2.demand_misses, busy,
+        )
+        last = self._last
+        fills = current[0] - last[0]
+        useful = current[1] - last[1]
+        timely = current[2] - last[2]
+        late = current[3] - last[3]
+        pollution = current[4] - last[4]
+        misses = current[5] - last[5]
+        busy_delta = current[6] - last[6]
+        cycle_delta = float(now) - self._last_cycle
+        self._last = current
+        self._last_cycle = float(now)
+        self.samples_taken += 1
+
+        accuracy = None
+        if fills > 0:
+            accuracy = useful / fills
+            # First uses of fills from *earlier* epochs can push the
+            # ratio past 1; clamp — the signal means "at least this good".
+            if accuracy > 1.0:
+                accuracy = 1.0
+        uses = timely + late
+        late_fraction = late / uses if uses > 0 else 0.0
+        pollution_rate = pollution / misses if misses > 0 else 0.0
+        denom = cycle_delta * len(channel_busy)
+        dram_busy_frac = busy_delta / denom if denom > 0 else 0.0
+        if dram_busy_frac > 1.0:
+            dram_busy_frac = 1.0
+        return EpochSample(
+            accesses=accesses, cycles=cycle_delta, fills=fills,
+            useful=useful, accuracy=accuracy,
+            pollution_rate=pollution_rate, late_fraction=late_fraction,
+            dram_busy_frac=dram_busy_frac, demand_misses=misses,
+        )

@@ -1,0 +1,243 @@
+"""Throttle policies: epoch samples in, knob settings out.
+
+A policy is a pure decision function over
+:class:`~repro.adapt.monitor.EpochSample` streams; it never touches the
+hardware itself.  The :class:`~repro.adapt.controller.AdaptiveController`
+calls :meth:`ThrottlePolicy.decide` once per epoch and applies whatever
+settings dict comes back (None = hold everything).  Keeping the policies
+side-effect free makes them trivially unit-testable with synthetic
+samples and pluggable through :data:`ADAPT_POLICIES`.
+
+The default :class:`LadderPolicy` is an aggressiveness ladder with
+hysteresis, in the spirit of Srinath et al.'s feedback-directed
+prefetching: each rung fixes a (region size, issue budget, insertion
+depth) triple, consecutive *bad* epochs step down a rung, consecutive
+*good* epochs step up, and a *neutral* epoch resets both streaks — which
+is exactly what keeps an oscillating accuracy signal from flapping the
+knobs.  Below the bottom rung the engine is disabled outright (and its
+queue flushed); after a fixed number of disabled epochs the policy
+re-enables at the bottom rung as a probe, giving a duty-cycled engine on
+workloads that are hostile throughout.
+"""
+
+
+class KnobState:
+    """The live knob settings of one adaptive engine."""
+
+    __slots__ = ("region_size", "issue_budget", "insert_depth",
+                 "enabled", "level")
+
+    def __init__(self, region_size, issue_budget, insert_depth,
+                 enabled=True, level=0):
+        self.region_size = region_size
+        self.issue_budget = issue_budget
+        self.insert_depth = insert_depth
+        self.enabled = enabled
+        self.level = level
+
+    def to_dict(self):
+        return {
+            "region_size": self.region_size,
+            "issue_budget": self.issue_budget,
+            "insert_depth": self.insert_depth,
+            "enabled": self.enabled,
+            "level": self.level,
+        }
+
+    def __repr__(self):
+        return ("KnobState(region=%d budget=%d depth=%d %s level=%d)"
+                % (self.region_size, self.issue_budget, self.insert_depth,
+                   "on" if self.enabled else "off", self.level))
+
+
+class ThrottlePolicy:
+    """Base policy: never changes anything (a static engine)."""
+
+    name = "static"
+
+    def initial(self):
+        """Settings to apply before the first epoch; None keeps the
+        machine's static configuration."""
+        return None
+
+    def decide(self, sample, knobs):
+        """Return a settings dict (keys: ``region_size``,
+        ``issue_budget``, ``insert_depth``, ``enabled``, ``level``; any
+        subset) or None to hold the current knobs."""
+        return None
+
+
+class LadderPolicy(ThrottlePolicy):
+    """Aggressiveness ladder with streak-based hysteresis.
+
+    State machine, evaluated once per epoch::
+
+        enabled:
+            no signal (fills < min_fills)  -> reset streaks, hold
+            bad epoch                      -> bad streak += 1 (good = 0);
+                                              at down_after: step down
+                                              (at rung 0: disable + flush)
+            good epoch                     -> good streak += 1 (bad = 0);
+                                              at up_after: step up
+            neutral                        -> reset both streaks, hold
+        disabled:
+            after reenable_after epochs    -> re-enable at rung 0 (probe)
+
+    *Bad* means the prefetcher is hurting: pollution above
+    ``pollution_hi``, or accuracy below ``accuracy_lo`` while it is also
+    costing something (non-trivial pollution, or DRAM channels saturated
+    past ``busy_hi``).  *Good* means clearly helping: accuracy at least
+    ``accuracy_hi`` with pollution under ``pollution_lo`` and a late
+    fraction at most ``late_hi``.  Everything else is neutral.
+    """
+
+    name = "ladder"
+
+    def __init__(self, levels, start_level, up_after=3, down_after=2,
+                 reenable_after=4, min_fills=16,
+                 accuracy_lo=0.20, accuracy_hi=0.60,
+                 pollution_lo=0.02, pollution_hi=0.10,
+                 late_hi=0.60, busy_hi=0.80):
+        if not levels:
+            raise ValueError("ladder policy needs at least one level")
+        if not 0 <= start_level < len(levels):
+            raise ValueError("start_level %d out of range" % start_level)
+        self.levels = [dict(level) for level in levels]
+        self.level = start_level
+        self.up_after = up_after
+        self.down_after = down_after
+        self.reenable_after = reenable_after
+        self.min_fills = min_fills
+        self.accuracy_lo = accuracy_lo
+        self.accuracy_hi = accuracy_hi
+        self.pollution_lo = pollution_lo
+        self.pollution_hi = pollution_hi
+        self.late_hi = late_hi
+        self.busy_hi = busy_hi
+        self._good = 0
+        self._bad = 0
+        self._idle_epochs = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_config(cls, config, **overrides):
+        """Build the default ladder for a machine configuration.
+
+        The top rungs reproduce the static engine (full region, full
+        budget, LRU insertion) so an adaptive run on a well-behaved
+        workload is behaviorally identical to its static counterpart;
+        lower rungs shrink the region (4 KB -> 2/1/0.5 KB at the default
+        geometry, floored at two blocks) and the per-call issue budget
+        together.  The rung above the static one raises the insertion
+        depth toward mid-set — worth it only when accuracy is proven.
+        """
+        full_region = config.region_size
+        floor = 2 * config.block_size
+
+        def region(divisor):
+            size = full_region // divisor
+            return size if size > floor else floor
+
+        levels = [
+            {"region_size": region(8), "issue_budget": 8,
+             "insert_depth": 0},
+            {"region_size": region(4), "issue_budget": 32,
+             "insert_depth": 0},
+            {"region_size": region(2), "issue_budget": 128,
+             "insert_depth": 0},
+            {"region_size": full_region, "issue_budget": 256,
+             "insert_depth": 0},
+            {"region_size": full_region, "issue_budget": 256,
+             "insert_depth": max(1, config.l2_assoc // 2)},
+        ]
+        params = dict(levels=levels, start_level=3)
+        params.update(overrides)
+        return cls(**params)
+
+    # ------------------------------------------------------------------
+    def _settings(self, enabled=True):
+        settings = dict(self.levels[self.level])
+        settings["enabled"] = enabled
+        settings["level"] = self.level
+        return settings
+
+    def initial(self):
+        return self._settings()
+
+    def classify(self, sample):
+        """Label one sample ``"bad"``, ``"good"``, or ``"neutral"``."""
+        accuracy = sample.accuracy
+        if sample.pollution_rate > self.pollution_hi:
+            return "bad"
+        if accuracy < self.accuracy_lo and (
+                sample.pollution_rate > self.pollution_lo
+                or sample.dram_busy_frac > self.busy_hi):
+            return "bad"
+        if (accuracy >= self.accuracy_hi
+                and sample.pollution_rate < self.pollution_lo
+                and sample.late_fraction <= self.late_hi):
+            return "good"
+        return "neutral"
+
+    def decide(self, sample, knobs):
+        if not knobs.enabled:
+            self._idle_epochs += 1
+            if self._idle_epochs >= self.reenable_after:
+                # Probation: probe again at the least aggressive rung.
+                self._idle_epochs = 0
+                self._good = self._bad = 0
+                self.level = 0
+                return self._settings()
+            return None
+        if sample.fills < self.min_fills or sample.accuracy is None:
+            # Too little prefetch activity to judge; a streak must be
+            # built from consecutive *judgeable* epochs.
+            self._good = self._bad = 0
+            return None
+        verdict = self.classify(sample)
+        if verdict == "bad":
+            self._bad += 1
+            self._good = 0
+            if self._bad >= self.down_after:
+                self._bad = 0
+                if self.level == 0:
+                    self._idle_epochs = 0
+                    return self._settings(enabled=False)
+                self.level -= 1
+                return self._settings()
+        elif verdict == "good":
+            self._good += 1
+            self._bad = 0
+            if self._good >= self.up_after:
+                self._good = 0
+                if self.level < len(self.levels) - 1:
+                    self.level += 1
+                    return self._settings()
+        else:
+            # Neutral epochs break both streaks: an oscillating signal
+            # (good, bad, good, ...) never accumulates enough consecutive
+            # verdicts to move a knob.
+            self._good = self._bad = 0
+        return None
+
+
+def resolve_policy(policy, config):
+    """Turn a policy spec (None, name, or instance) into an instance."""
+    if policy is None:
+        policy = "ladder"
+    if isinstance(policy, str):
+        try:
+            factory = ADAPT_POLICIES[policy]
+        except KeyError:
+            raise KeyError(
+                "unknown throttle policy %r (have: %s)"
+                % (policy, ", ".join(sorted(ADAPT_POLICIES))))
+        return factory(config)
+    return policy
+
+
+#: Registry of named policy factories: ``name -> factory(config)``.
+ADAPT_POLICIES = {
+    "static": lambda config: ThrottlePolicy(),
+    "ladder": LadderPolicy.for_config,
+}

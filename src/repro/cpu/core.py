@@ -160,6 +160,8 @@ class Core:
         access = hierarchy.access
         table = self.hint_table
         inv_width = self.inv_width
+        adapt = getattr(hierarchy, "adapt", None)
+        note_access = adapt.note_access if adapt is not None else None
         for event in events:
             etype = event.__class__
             if etype is MemRef:
@@ -175,6 +177,11 @@ class Core:
                 self._issue(latency)
                 self.load_stall_cycles += max(0.0, self._clock - before - inv_width)
                 refs += 1
+                if note_access is not None:
+                    # Adaptive epoch check: counts this reference and, on
+                    # a boundary, samples/adjusts with the post-issue
+                    # clock (execute_compiled mirrors this exactly).
+                    note_access(self._clock)
                 if limit_refs is not None and refs >= limit_refs:
                     break
             elif etype is Ops:
@@ -220,6 +227,8 @@ class Core:
             or hierarchy.tlb is not None
             or hierarchy.metrics.sink is not None
         )
+        adapt = getattr(hierarchy, "adapt", None)
+        note_access = adapt.note_access if adapt is not None else None
         access = hierarchy.access
         if not general:
             l1 = hierarchy.l1
@@ -313,6 +322,12 @@ class Core:
                     if s > 0.0:
                         load_stall += s
                     refs += 1
+                    if note_access is not None:
+                        # Adaptive epoch check at the same point, with
+                        # the same post-issue clock, as execute() — the
+                        # boundary reads only counters both paths update
+                        # identically, preserving fast==slow equivalence.
+                        note_access(clock)
                     if limit_refs is not None and refs >= limit_refs:
                         break
                 elif kind == K_OPS:

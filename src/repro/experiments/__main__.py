@@ -22,6 +22,7 @@ import sys
 import time
 
 from repro.experiments import (
+    adaptive,
     fig1,
     fig9,
     fig10_11,
@@ -36,6 +37,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentContext
 from repro.sim.cache import ResultCache
+from repro.sim.runner import SCHEMES
 from repro.trace.store import TRACE_CACHE_ENV, reset_default_store
 
 RUNNERS = {
@@ -52,6 +54,7 @@ RUNNERS = {
                                 sensitivity.run_per_benchmark(ctx)],
     "metrics": lambda ctx: [metrics_summary.run(ctx),
                             metrics_summary.run_deltas(ctx)],
+    "adaptive": lambda ctx: [adaptive.run(ctx), adaptive.run_recovery(ctx)],
 }
 
 #: Experiments that consume simulation runs (table3 only runs the
@@ -70,6 +73,9 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the GRP paper's tables and figures.",
+        # Derived from the scheme registry (sorted) so newly registered
+        # schemes appear here without touching this module.
+        epilog="simulated schemes: %s" % ", ".join(sorted(SCHEMES)),
     )
     parser.add_argument("experiments", nargs="*", metavar="experiment",
                         help="subset to run (default: all; choose from %s)"

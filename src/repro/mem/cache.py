@@ -17,6 +17,29 @@ from collections import OrderedDict
 from repro.mem.layout import is_power_of_two
 
 
+def normalize_prefetch_insert(value, assoc):
+    """Map a prefetch insertion spec to an integer depth.
+
+    Depth 0 is the LRU position (the paper's pollution control), ``assoc``
+    (or anything >= the set occupancy) is MRU.  The historical string
+    policies remain as aliases: ``"lru"`` -> 0, ``"mru"`` -> ``assoc``.
+    Raises ValueError for anything else — unknown strings, negative or
+    non-integer depths.
+    """
+    if value == "lru":
+        return 0
+    if value == "mru":
+        return assoc
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            "prefetch_insert must be 'lru', 'mru', or a non-negative "
+            "integer insertion depth, not %r" % (value,))
+    if value < 0:
+        raise ValueError(
+            "prefetch insertion depth must be >= 0, not %d" % value)
+    return value
+
+
 class CacheLine:
     """One resident block: tag plus the bookkeeping bits the policy needs."""
 
@@ -107,8 +130,6 @@ class Cache:
 
     def __init__(self, name, size, assoc, block_size, latency,
                  prefetch_insert="lru"):
-        if prefetch_insert not in ("lru", "mru"):
-            raise ValueError("prefetch_insert must be 'lru' or 'mru'")
         if not is_power_of_two(block_size):
             raise ValueError("block size must be a power of two")
         if size % (assoc * block_size) != 0:
@@ -119,6 +140,8 @@ class Cache:
         self.name = name
         self.size = size
         self.prefetch_insert = prefetch_insert
+        self.prefetch_insert_depth = normalize_prefetch_insert(
+            prefetch_insert, assoc)
         self.assoc = assoc
         self.block_size = block_size
         self.latency = latency
@@ -215,8 +238,9 @@ class Cache:
     def fill(self, addr, prefetched=False, is_store=False):
         """Install the block containing ``addr``.
 
-        Demand fills go to MRU; prefetch fills go to the LRU position (the
-        paper's pollution control).  Returns the evicted block address when
+        Demand fills go to MRU; prefetch fills go to the configured
+        insertion depth (LRU by default — the paper's pollution control).
+        Returns the evicted block address when
         a dirty line was displaced (the caller issues the writeback), else
         None.  A prefetch fill of an already-resident block is squashed.
         """
@@ -264,8 +288,12 @@ class Cache:
         line = CacheLine(block, prefetched=prefetched)
         if is_store:
             line.dirty = True
-        if prefetched and self.prefetch_insert == "lru":
-            lines.insert(0, line)  # LRU position: pollution control
+        if prefetched:
+            depth = self.prefetch_insert_depth
+            if depth >= len(lines):
+                lines.append(line)  # MRU
+            else:
+                lines.insert(depth, line)  # 0 = LRU: pollution control
         else:
             lines.append(line)  # MRU
         index[block] = line
@@ -309,15 +337,28 @@ class Cache:
         if shadow:
             shadow.pop(block, None)
         line = CacheLine(block, prefetched=True)
-        if self.prefetch_insert == "lru":
-            lines.insert(0, line)  # LRU position: pollution control
-        else:
+        depth = self.prefetch_insert_depth
+        if depth >= len(lines):
             lines.append(line)  # MRU
+        else:
+            lines.insert(depth, line)  # 0 = LRU: pollution control
         index[block] = line
         stats.prefetch_fills += 1
         if self.observer is not None:
             self.observer.on_fill(self, block, True)
         return writeback
+
+    def set_prefetch_insert(self, value):
+        """Change the prefetch insertion policy live.
+
+        Accepts the same forms as the constructor (``"lru"``/``"mru"`` or
+        an integer depth); resident lines keep their current positions —
+        only future fills see the new depth.  This is the adaptive
+        throttle policy's insertion-depth knob.
+        """
+        self.prefetch_insert_depth = normalize_prefetch_insert(
+            value, self.assoc)
+        self.prefetch_insert = value
 
     def invalidate(self, addr):
         """Drop ``addr``'s block if resident; returns True if it was."""

@@ -65,6 +65,10 @@ class MemoryController:
         #: overlapping misses the prefetcher is locked out entirely, which
         #: is what keeps SRP's traffic bounded on miss-dense phases.
         self.demand_busy_until = 0
+        #: Per-call issue budget for :meth:`issue_prefetches` when the
+        #: caller passes none.  The adaptive throttle policy lowers this
+        #: to rate-limit prefetch issue between epochs.
+        self.prefetch_budget = 256
         self.prefetches_issued = 0
         self.prefetches_dropped_resident = 0
         self.prefetches_blocked_mshr = 0
@@ -117,15 +121,18 @@ class MemoryController:
         self.dram.access(block, now, kind="writeback")
 
     # ------------------------------------------------------------------
-    def issue_prefetches(self, now, budget=256):
+    def issue_prefetches(self, now, budget=None):
         """Issue queued prefetch candidates into idle channel time <= now.
 
         ``budget`` bounds work per call so a pathological queue cannot stall
-        the simulator; any remainder issues on the next call.
+        the simulator; any remainder issues on the next call.  It defaults
+        to :attr:`prefetch_budget`, the adaptive throttle knob.
         """
         prefetcher = self.prefetcher
         if prefetcher is None:
             return
+        if budget is None:
+            budget = self.prefetch_budget
         if now <= self._blocked_until:
             # The held head candidate cannot issue before the cached
             # bound (see __init__): the probe below would pop it, find

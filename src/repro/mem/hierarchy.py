@@ -102,10 +102,16 @@ class Hierarchy:
                     prefetcher, "on_prefetch_fill", None
                 )
             self._pf_fills_l2 = getattr(prefetcher, "fills_l2", True)
+            #: Adaptive engines build their AdaptiveController during
+            #: attach; the CPU replay loops pick it up from here and
+            #: drive its per-reference epoch check.  None for static
+            #: engines.
+            self.adapt = getattr(prefetcher, "adapt", None)
         else:
             self._has_candidates = None
             self._pf_on_fill = None
             self._pf_fills_l2 = True
+            self.adapt = None
         self.tlb = (
             TLB(config.tlb_entries, config.tlb_assoc,
                 config.tlb_page_size, config.tlb_miss_latency)

@@ -187,6 +187,20 @@ class RegionQueue:
             entries.append(entry)
         return entries
 
+    def flush(self):
+        """Drop every queued entry (and any held candidate).
+
+        Returns the number of candidate blocks discarded.  Used by the
+        adaptive throttle policy when it disables prefetching: stale
+        candidates must not keep trickling out of the queue afterwards.
+        """
+        count = sum(entry.candidate_count() for entry in self._entries)
+        self._entries.clear()
+        if self._held is not None:
+            count += 1
+            self._held = None
+        return count
+
     def _insert(self, entry):
         self.regions_allocated += 1
         self._entries.insert(0, entry)

@@ -17,7 +17,11 @@ from repro.workloads import workload_names
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="python -m repro.sim")
     parser.add_argument("benchmark", choices=workload_names())
-    parser.add_argument("scheme", choices=sorted(SCHEMES))
+    # Sorted and derived from the registry so newly registered schemes
+    # show up in the help text automatically (and in a stable order).
+    parser.add_argument("scheme", choices=sorted(SCHEMES),
+                        help="prefetch scheme: %s"
+                             % ", ".join(sorted(SCHEMES)))
     parser.add_argument("--refs", type=int, default=None,
                         help="trace length (default: workload's)")
     parser.add_argument("--mode", default="real",
@@ -49,6 +53,14 @@ def main(argv=None):
     print("  L2 miss rate  %11.1f%%" % (100 * stats.l2_miss_rate))
     print("  DRAM traffic  %12d bytes" % stats.traffic_bytes)
     print("  pf accuracy   %11.1f%%" % (100 * stats.prefetch_accuracy))
+    if stats.adapt:
+        final = stats.adapt["final"]
+        print("  adapt         %6d epochs, %d knob changes -> %s L%d "
+              "(region %dB, budget %d, depth %d)"
+              % (stats.adapt["epochs"], stats.adapt["knob_changes"],
+                 "on" if final["enabled"] else "off", final["level"],
+                 final["region_size"], final["issue_budget"],
+                 final["insert_depth"]))
     if args.metrics:
         print("observability:")
         print("  timely pf     %12d" % stats.timely_prefetches)

@@ -37,6 +37,7 @@ class MachineConfig:
         issue_width=4,
         window_size=64,
         prefetch_insert="lru",
+        adapt_epoch_accesses=2048,
         tlb_entries=0,
         tlb_assoc=4,
         tlb_page_size=8192,
@@ -59,6 +60,9 @@ class MachineConfig:
         self.issue_width = issue_width
         self.window_size = window_size
         self.prefetch_insert = prefetch_insert
+        #: Epoch length, in memory references, for the adaptive schemes'
+        #: feedback loop (see repro.adapt).  Ignored by static schemes.
+        self.adapt_epoch_accesses = adapt_epoch_accesses
         self.tlb_entries = tlb_entries
         self.tlb_assoc = tlb_assoc
         self.tlb_page_size = tlb_page_size
@@ -120,6 +124,7 @@ class MachineConfig:
             issue_width=self.issue_width,
             window_size=self.window_size,
             prefetch_insert=self.prefetch_insert,
+            adapt_epoch_accesses=self.adapt_epoch_accesses,
             tlb_entries=self.tlb_entries,
             tlb_assoc=self.tlb_assoc,
             tlb_page_size=self.tlb_page_size,

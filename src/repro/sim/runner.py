@@ -11,17 +11,21 @@ constructs the RunSpec and calls :func:`execute`.
 
 Schemes
 -------
-========  ==========================================================
-none      no prefetching (baseline; also used for perfect-L1/L2 modes)
-stride    predictor-directed stream buffers (Sherwood et al.)
-srp       scheduled region prefetching (hardware only)
-pointer   stateless content-directed pointer prefetching
+============  ======================================================
+none          no prefetching (baseline; also perfect-L1/L2 modes)
+stride        predictor-directed stream buffers (Sherwood et al.)
+srp           scheduled region prefetching (hardware only)
+srp-adaptive  SRP under the runtime feedback throttle (repro.adapt)
+pointer       stateless content-directed pointer prefetching
 pointer-recursive   the same, chasing ``recursive_depth`` levels
-grp       guided region prefetching with variable-size regions (GRP/Var)
-grp-fix   GRP with fixed-size regions only (GRP/Fix)
-========  ==========================================================
+grp           guided region prefetching, variable regions (GRP/Var)
+grp-fix       GRP with fixed-size regions only (GRP/Fix)
+grp-hintbit   GRP with the alternate indirect encoding (Section 3.3.3)
+grp-adaptive  GRP with the same feedback control plane layered on
+============  ======================================================
 """
 
+from repro.adapt.engines import AdaptiveGRPPrefetcher, AdaptiveSRPPrefetcher
 from repro.compiler.driver import compile_hints
 from repro.mem.space import AddressSpace
 from repro.metrics import TraceSink
@@ -75,6 +79,16 @@ SCHEMES = {
         hinted=True,
         variable_regions=True,
         indirect_mode="hintbit",
+    ),
+    # Feedback-directed variants (repro.adapt): the static engines under
+    # an epoch-based runtime throttle.  srp-adaptive needs no hints at
+    # all — the point of comparison against hint-guided grp.
+    "srp-adaptive": SchemeSpec(lambda result: AdaptiveSRPPrefetcher()),
+    "grp-adaptive": SchemeSpec(
+        lambda result: AdaptiveGRPPrefetcher(result.hint_table,
+                                             variable_regions=True),
+        hinted=True,
+        variable_regions=True,
     ),
 }
 

@@ -32,6 +32,7 @@ MACHINE_FIELDS = (
     "prefetch_queue_size", "prefetch_queue_policy",
     "recursive_depth", "pointer_blocks",
     "issue_width", "window_size", "prefetch_insert",
+    "adapt_epoch_accesses",
     "tlb_entries", "tlb_assoc", "tlb_page_size", "tlb_miss_latency",
 )
 

@@ -20,7 +20,7 @@ RESULT_FIELDS = (
     "load_stall_cycles", "l1", "l2", "hier",
     "dram_demand_blocks", "dram_prefetch_blocks", "dram_writeback_blocks",
     "row_hit_rate", "traffic_bytes", "prefetch_accuracy", "prefetcher",
-    "metrics",
+    "metrics", "adapt",
 )
 
 
@@ -58,6 +58,10 @@ class SimStats:
         # The observability layer's snapshot: timeliness, pollution, DRAM
         # utilization, MSHR/queue summaries and the interval time series.
         self.metrics = hierarchy.metrics.snapshot()
+        # The adaptive control plane's snapshot (epoch count, knob
+        # trajectory, final knob settings); {} for static schemes.
+        adapt = getattr(hierarchy, "adapt", None)
+        self.adapt = adapt.snapshot() if adapt is not None else {}
 
     # ------------------------------------------------------------------
     def to_dict(self):

@@ -1,0 +1,471 @@
+"""Tests for the feedback-directed adaptive prefetch control loop."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.adapt import (
+    ADAPT_POLICIES,
+    AdaptiveController,
+    EpochSample,
+    FeedbackMonitor,
+    KnobState,
+    LadderPolicy,
+    ThrottlePolicy,
+    resolve_policy,
+)
+from repro.adapt.engines import AdaptiveGRPPrefetcher, AdaptiveSRPPrefetcher
+from repro.mem.hierarchy import Hierarchy
+from repro.mem.space import AddressSpace
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_workload
+from repro.sim.stats import SimStats
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+def fake_hierarchy(channels=2):
+    """The minimal counter surface the monitor samples."""
+    return SimpleNamespace(
+        l2=SimpleNamespace(stats=SimpleNamespace(
+            prefetch_fills=0, useful_prefetches=0,
+            pollution_misses=0, demand_misses=0)),
+        metrics=SimpleNamespace(timely_prefetch_uses=0,
+                                late_prefetch_uses=0),
+        dram=SimpleNamespace(channel_busy_cycles=[0.0] * channels),
+    )
+
+
+def mk_sample(accuracy=0.5, pollution_rate=0.0, late_fraction=0.0,
+              dram_busy_frac=0.0, fills=100):
+    useful = 0 if accuracy is None else int(round(accuracy * fills))
+    return EpochSample(accesses=1000, cycles=5000.0, fills=fills,
+                       useful=useful, accuracy=accuracy,
+                       pollution_rate=pollution_rate,
+                       late_fraction=late_fraction,
+                       dram_busy_frac=dram_busy_frac, demand_misses=50)
+
+
+GOOD = dict(accuracy=0.9, pollution_rate=0.0)
+BAD = dict(accuracy=0.05, pollution_rate=0.2)
+NEUTRAL = dict(accuracy=0.4, pollution_rate=0.05)
+
+LEVELS = [
+    {"region_size": 512, "issue_budget": 8, "insert_depth": 0},
+    {"region_size": 1024, "issue_budget": 32, "insert_depth": 0},
+    {"region_size": 4096, "issue_budget": 256, "insert_depth": 2},
+]
+
+
+def mk_policy(start_level=2, **overrides):
+    params = dict(up_after=3, down_after=2, reenable_after=4, min_fills=16)
+    params.update(overrides)
+    return LadderPolicy(LEVELS, start_level, **params)
+
+
+def knobs_for(policy):
+    level = policy.levels[policy.level]
+    return KnobState(level["region_size"], level["issue_budget"],
+                     level["insert_depth"], enabled=True,
+                     level=policy.level)
+
+
+def make_adaptive(engine=None, **cfg):
+    cfg.setdefault("adapt_epoch_accesses", 64)
+    config = MachineConfig.tiny(**cfg)
+    space = AddressSpace()
+    engine = engine or AdaptiveSRPPrefetcher()
+    hier = Hierarchy(config, space, engine)
+    return hier, space, config, engine
+
+
+# ----------------------------------------------------------------------
+# Monitor: delta sampling, re-baselining ("reset at epoch boundaries")
+# ----------------------------------------------------------------------
+
+class TestFeedbackMonitor:
+    def test_counters_rebaseline_at_epoch_boundary(self):
+        hier = fake_hierarchy()
+        monitor = FeedbackMonitor(hier)
+        hier.l2.stats.prefetch_fills = 40
+        hier.l2.stats.useful_prefetches = 10
+        hier.l2.stats.demand_misses = 100
+        first = monitor.sample(now=1000, accesses=512)
+        assert first.fills == 40
+        assert first.useful == 10
+        assert first.demand_misses == 100
+        assert first.cycles == 1000.0
+        # Second epoch adds 20 fills / 15 useful; the sample must cover
+        # only those — the cumulative counters are never zeroed.
+        hier.l2.stats.prefetch_fills = 60
+        hier.l2.stats.useful_prefetches = 25
+        hier.l2.stats.demand_misses = 130
+        second = monitor.sample(now=1800, accesses=512)
+        assert second.fills == 20
+        assert second.useful == 15
+        assert second.demand_misses == 30
+        assert second.cycles == 800.0
+        assert hier.l2.stats.prefetch_fills == 60  # untouched
+        assert monitor.samples_taken == 2
+
+    def test_accuracy_none_without_fills(self):
+        monitor = FeedbackMonitor(fake_hierarchy())
+        sample = monitor.sample(now=100, accesses=64)
+        assert sample.accuracy is None
+        assert sample.fills == 0
+
+    def test_accuracy_clamped_to_one(self):
+        # First uses of fills from an earlier epoch can make the delta
+        # ratio exceed 1; the signal is clamped, not wrapped.
+        hier = fake_hierarchy()
+        monitor = FeedbackMonitor(hier)
+        hier.l2.stats.prefetch_fills = 50
+        monitor.sample(now=100, accesses=64)
+        hier.l2.stats.prefetch_fills = 60
+        hier.l2.stats.useful_prefetches = 45
+        sample = monitor.sample(now=200, accesses=64)
+        assert sample.accuracy == 1.0
+
+    def test_pollution_and_late_fractions(self):
+        hier = fake_hierarchy()
+        monitor = FeedbackMonitor(hier)
+        hier.l2.stats.demand_misses = 200
+        hier.l2.stats.pollution_misses = 50
+        hier.metrics.timely_prefetch_uses = 30
+        hier.metrics.late_prefetch_uses = 10
+        sample = monitor.sample(now=100, accesses=64)
+        assert sample.pollution_rate == pytest.approx(0.25)
+        assert sample.late_fraction == pytest.approx(0.25)
+
+    def test_dram_busy_fraction_mean_over_channels(self):
+        hier = fake_hierarchy(channels=2)
+        monitor = FeedbackMonitor(hier)
+        hier.dram.channel_busy_cycles[0] = 300.0
+        hier.dram.channel_busy_cycles[1] = 100.0
+        sample = monitor.sample(now=1000, accesses=64)
+        assert sample.dram_busy_frac == pytest.approx(0.2)
+
+    def test_dram_busy_fraction_clamped(self):
+        hier = fake_hierarchy(channels=1)
+        monitor = FeedbackMonitor(hier)
+        hier.dram.channel_busy_cycles[0] = 5000.0
+        sample = monitor.sample(now=100, accesses=64)
+        assert sample.dram_busy_frac == 1.0
+
+    def test_sample_to_dict_json_safe(self):
+        sample = mk_sample(accuracy=None, fills=0)
+        data = json.loads(json.dumps(sample.to_dict()))
+        assert data["accuracy"] is None
+        assert data["fills"] == 0
+
+
+# ----------------------------------------------------------------------
+# LadderPolicy: classification, streaks, hysteresis
+# ----------------------------------------------------------------------
+
+class TestClassify:
+    def test_high_pollution_is_bad(self):
+        assert mk_policy().classify(mk_sample(**BAD)) == "bad"
+
+    def test_low_accuracy_alone_is_neutral(self):
+        # Cheap inaccuracy (no pollution, idle DRAM) is not worth
+        # throttling.
+        sample = mk_sample(accuracy=0.05, pollution_rate=0.0,
+                           dram_busy_frac=0.1)
+        assert mk_policy().classify(sample) == "neutral"
+
+    def test_low_accuracy_with_busy_dram_is_bad(self):
+        sample = mk_sample(accuracy=0.05, pollution_rate=0.0,
+                           dram_busy_frac=0.95)
+        assert mk_policy().classify(sample) == "bad"
+
+    def test_good_needs_all_three_signals(self):
+        policy = mk_policy()
+        assert policy.classify(mk_sample(**GOOD)) == "good"
+        late = mk_sample(accuracy=0.9, pollution_rate=0.0,
+                         late_fraction=0.9)
+        assert policy.classify(late) == "neutral"
+
+
+class TestLadderHysteresis:
+    def test_step_down_after_consecutive_bad(self):
+        policy = mk_policy(start_level=2)
+        knobs = knobs_for(policy)
+        assert policy.decide(mk_sample(**BAD), knobs) is None
+        settings = policy.decide(mk_sample(**BAD), knobs)
+        assert settings is not None
+        assert settings["level"] == 1
+        assert settings["region_size"] == LEVELS[1]["region_size"]
+        assert settings["enabled"] is True
+
+    def test_step_up_after_consecutive_good(self):
+        policy = mk_policy(start_level=0)
+        knobs = knobs_for(policy)
+        assert policy.decide(mk_sample(**GOOD), knobs) is None
+        assert policy.decide(mk_sample(**GOOD), knobs) is None
+        settings = policy.decide(mk_sample(**GOOD), knobs)
+        assert settings is not None
+        assert settings["level"] == 1
+
+    def test_no_flapping_on_oscillating_accuracy(self):
+        # The hysteresis contract: an alternating good/bad signal never
+        # accumulates a streak, so the knobs never move.
+        policy = mk_policy(start_level=1)
+        knobs = knobs_for(policy)
+        for i in range(40):
+            sample = mk_sample(**(GOOD if i % 2 == 0 else BAD))
+            assert policy.decide(sample, knobs) is None
+        assert policy.level == 1
+
+    def test_neutral_resets_both_streaks(self):
+        policy = mk_policy(start_level=2)
+        knobs = knobs_for(policy)
+        assert policy.decide(mk_sample(**BAD), knobs) is None
+        assert policy.decide(mk_sample(**NEUTRAL), knobs) is None
+        assert policy.decide(mk_sample(**BAD), knobs) is None  # streak: 1
+        assert policy.level == 2
+
+    def test_no_signal_epoch_resets_streaks(self):
+        policy = mk_policy(start_level=2, min_fills=16)
+        knobs = knobs_for(policy)
+        assert policy.decide(mk_sample(**BAD), knobs) is None
+        quiet = mk_sample(fills=3, accuracy=0.0, pollution_rate=0.5)
+        assert policy.decide(quiet, knobs) is None
+        assert policy.decide(mk_sample(**BAD), knobs) is None
+        assert policy.level == 2
+
+    def test_top_rung_good_streak_holds(self):
+        policy = mk_policy(start_level=len(LEVELS) - 1)
+        knobs = knobs_for(policy)
+        for _ in range(10):
+            assert policy.decide(mk_sample(**GOOD), knobs) is None
+        assert policy.level == len(LEVELS) - 1
+
+    def test_disable_below_bottom_rung(self):
+        policy = mk_policy(start_level=0)
+        knobs = knobs_for(policy)
+        assert policy.decide(mk_sample(**BAD), knobs) is None
+        settings = policy.decide(mk_sample(**BAD), knobs)
+        assert settings is not None
+        assert settings["enabled"] is False
+
+    def test_probation_reenable_after_disabled_epochs(self):
+        policy = mk_policy(start_level=0, reenable_after=4)
+        knobs = knobs_for(policy)
+        knobs.enabled = False
+        for _ in range(3):
+            assert policy.decide(mk_sample(**BAD), knobs) is None
+        settings = policy.decide(mk_sample(**BAD), knobs)
+        assert settings is not None
+        assert settings["enabled"] is True
+        assert settings["level"] == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LadderPolicy([], 0)
+        with pytest.raises(ValueError):
+            LadderPolicy(LEVELS, len(LEVELS))
+
+    def test_for_config_top_rung_matches_static_engine(self):
+        config = MachineConfig.scaled()
+        policy = LadderPolicy.for_config(config)
+        start = policy.levels[policy.level]
+        assert start["region_size"] == config.region_size
+        assert start["insert_depth"] == 0
+
+    def test_region_floor_two_blocks(self):
+        config = MachineConfig.tiny()
+        policy = LadderPolicy.for_config(config)
+        for level in policy.levels:
+            assert level["region_size"] >= 2 * config.block_size
+
+
+class TestPolicyRegistry:
+    def test_default_is_ladder(self):
+        policy = resolve_policy(None, MachineConfig.tiny())
+        assert isinstance(policy, LadderPolicy)
+
+    def test_named_and_instance_specs(self):
+        config = MachineConfig.tiny()
+        static = resolve_policy("static", config)
+        assert type(static) is ThrottlePolicy
+        instance = LadderPolicy(LEVELS, 0)
+        assert resolve_policy(instance, config) is instance
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            resolve_policy("bogus", MachineConfig.tiny())
+
+    def test_registry_names(self):
+        assert set(ADAPT_POLICIES) >= {"static", "ladder"}
+
+
+# ----------------------------------------------------------------------
+# Controller: knob application against the live hierarchy
+# ----------------------------------------------------------------------
+
+class TestKnobApplication:
+    def test_controller_attached_and_discovered(self):
+        hier, _, _, engine = make_adaptive()
+        assert engine.adapt is not None
+        assert hier.adapt is engine.adapt
+
+    def test_static_engine_has_no_controller(self):
+        config = MachineConfig.tiny()
+        hier = Hierarchy(config, AddressSpace(), None)
+        assert hier.adapt is None
+
+    def test_initial_settings_are_not_knob_changes(self):
+        hier, _, config, engine = make_adaptive()
+        adapt = engine.adapt
+        assert adapt.knob_changes == 0
+        # The ladder starts on the static-equivalent rung.
+        assert adapt.knobs.region_size == config.region_size
+        assert adapt.knobs.insert_depth == 0
+        assert adapt.knobs.enabled is True
+
+    def test_region_size_reaches_queue(self):
+        hier, _, _, engine = make_adaptive()
+        engine.adapt._apply({"region_size": 128})
+        assert engine.queue.region_size == 128
+        assert engine.adapt.knobs.region_size == 128
+        assert engine.adapt.knob_changes == 1
+
+    def test_budget_and_depth_reach_hardware(self):
+        hier, _, _, engine = make_adaptive()
+        engine.adapt._apply({"issue_budget": 4, "insert_depth": 2})
+        assert hier.controller.prefetch_budget == 4
+        assert hier.l2.prefetch_insert_depth == 2
+        # One _apply call is one knob change, however many knobs moved.
+        assert engine.adapt.knob_changes == 1
+
+    def test_noop_apply_counts_nothing(self):
+        hier, _, _, engine = make_adaptive()
+        knobs = engine.adapt.knobs
+        engine.adapt._apply({"region_size": knobs.region_size,
+                             "issue_budget": knobs.issue_budget})
+        assert engine.adapt.knob_changes == 0
+
+    def test_disable_flushes_queue_and_blocked_cache(self):
+        hier, _, _, engine = make_adaptive()
+        engine.queue.allocate_region(5, now=0.0)
+        assert engine.queue.has_candidates()
+        hier.controller._blocked_until = 999.0
+        hier.controller._held_block = 7
+        engine.adapt._apply({"enabled": False})
+        assert not engine.adapt.knobs.enabled
+        assert engine.adapt.flushed_candidates > 0
+        assert not engine.queue.has_candidates()
+        assert hier.controller._blocked_until == -1.0
+        assert hier.controller._held_block == -1
+
+    def test_disabled_engine_suppresses_misses(self):
+        hier, space, _, engine = make_adaptive()
+        engine.adapt._apply({"enabled": False})
+        addr = space.malloc(1 << 14)
+        hier.access(addr, now=0)
+        assert engine.suppressed_misses >= 1
+        assert not engine.queue.has_candidates()
+
+    def test_epoch_boundary_fires_on_access_count(self):
+        hier, _, _, engine = make_adaptive(adapt_epoch_accesses=64)
+        adapt = engine.adapt
+        for k in range(200):
+            adapt.note_access(now=float(k))
+        assert adapt.epochs == 3
+
+    def test_epoch_accesses_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_adaptive(adapt_epoch_accesses=0)
+
+    def test_trajectory_decimation_is_bounded(self):
+        hier, _, config, engine = make_adaptive(adapt_epoch_accesses=8)
+        adapt = AdaptiveController(engine, hier, config,
+                                   policy=ThrottlePolicy(),
+                                   max_trajectory=8)
+        for k in range(8 * 40):
+            adapt.note_access(now=float(k))
+        assert adapt.epochs == 40
+        trajectory = adapt.snapshot()["trajectory"]
+        assert len(trajectory) <= 8
+        assert adapt._traj_stride > 1
+        epochs = [row["epoch"] for row in trajectory]
+        assert epochs == sorted(epochs)
+        # Decimation keeps rows spanning the whole run, not just a prefix.
+        assert epochs[-1] > 20
+
+    def test_snapshot_shape(self):
+        hier, _, _, engine = make_adaptive()
+        snap = engine.adapt.snapshot()
+        assert snap["policy"] == "ladder"
+        assert snap["epoch_accesses"] == 64
+        assert set(snap["final"]) == {"region_size", "issue_budget",
+                                      "insert_depth", "enabled", "level"}
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+
+# ----------------------------------------------------------------------
+# GRP-adaptive specifics
+# ----------------------------------------------------------------------
+
+class TestAdaptiveGRP:
+    def test_region_cap_over_hint_size(self):
+        hier, _, config, engine = make_adaptive(
+            engine=AdaptiveGRPPrefetcher())
+        cap = 2 * config.block_size
+        engine.adapt._apply({"region_size": cap})
+
+        class Hint:
+            region_coeff = 0
+
+        # No loop bound tracked yet -> the static engine would use the
+        # full configured region; the adaptive knob caps it.
+        assert engine._region_size_for(Hint()) == cap
+
+    def test_stats_snapshot_reports_suppression(self):
+        _, _, _, engine = make_adaptive(engine=AdaptiveGRPPrefetcher())
+        snap = engine.stats_snapshot()
+        assert "suppressed_misses" in snap
+        assert "suppressed_directives" in snap
+
+
+# ----------------------------------------------------------------------
+# End to end: runner integration and serialization
+# ----------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_adapt_snapshot_roundtrips_through_json(self):
+        stats = run_workload(
+            "mcf", "srp-adaptive", limit_refs=4000,
+            config=MachineConfig.scaled(adapt_epoch_accesses=256))
+        assert stats.adapt["epochs"] >= 10
+        assert stats.adapt["trajectory"]
+        restored = SimStats.from_dict(json.loads(json.dumps(
+            stats.to_dict())))
+        assert restored.adapt == stats.adapt
+
+    def test_static_scheme_has_empty_adapt(self):
+        stats = run_workload("mcf", "srp", limit_refs=2000)
+        assert stats.adapt == {}
+
+    def test_grp_adaptive_runs_and_reports(self):
+        stats = run_workload(
+            "swim", "grp-adaptive", limit_refs=4000,
+            config=MachineConfig.scaled(adapt_epoch_accesses=256))
+        assert stats.adapt["policy"] == "ladder"
+        assert stats.instructions > 0
+
+    def test_epoch_length_in_cache_key(self):
+        # Different epoch lengths are different machines: the spec
+        # canonicalization must keep them apart.
+        from repro.sim.spec import RunSpec
+        a = RunSpec.create("mcf", "srp-adaptive", limit_refs=2000,
+                           config=MachineConfig.scaled(
+                               adapt_epoch_accesses=256))
+        b = RunSpec.create("mcf", "srp-adaptive", limit_refs=2000,
+                           config=MachineConfig.scaled(
+                               adapt_epoch_accesses=512))
+        assert a.digest() != b.digest()

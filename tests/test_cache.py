@@ -110,6 +110,58 @@ class TestPrefetchPlacement:
         assert cache.stats.prefetch_fills == 0
         assert cache.stats.prefetch_hits_squashed == 1
 
+    def test_integer_depth_inserts_mid_stack(self):
+        # Depth 2 in a 4-way set: two lines stay below the prefetch, so
+        # it outlives LRU insertion by exactly two demand evictions.
+        cache = Cache("test", 1024, 4, 64, 3, prefetch_insert=2)
+        for b in (0x0, 0x100, 0x200):
+            cache.fill(b)
+        cache.fill(0x300, prefetched=True)
+        cache.fill(0x400)  # evicts the true LRU (0x0), not the prefetch
+        assert cache.contains(0x300)
+        assert not cache.contains(0x0)
+        cache.fill(0x500)  # prefetch is now the LRU...
+        assert cache.contains(0x300)
+        cache.fill(0x600)  # ...and the third eviction removes it
+        assert not cache.contains(0x300)
+
+    def test_depth_zero_matches_lru_alias(self):
+        for insert in (0, "lru"):
+            cache = Cache("test", 1024, 4, 64, 3,
+                          prefetch_insert=insert)
+            assert cache.prefetch_insert_depth == 0
+            for b in (0x0, 0x100, 0x200):
+                cache.fill(b)
+            cache.fill(0x300, prefetched=True)
+            cache.fill(0x400)
+            assert not cache.contains(0x300)
+
+    def test_mru_alias_maps_to_assoc_depth(self):
+        cache = Cache("test", 1024, 4, 64, 3, prefetch_insert="mru")
+        assert cache.prefetch_insert_depth == cache.assoc
+        for b in (0x0, 0x100, 0x200):
+            cache.fill(b)
+        cache.fill(0x300, prefetched=True)
+        cache.fill(0x400)  # MRU-inserted prefetch survives; 0x0 goes
+        assert cache.contains(0x300)
+        assert not cache.contains(0x0)
+
+    def test_invalid_prefetch_insert_rejected(self):
+        for bad in ("middle", -1, True, 1.5, None):
+            with pytest.raises(ValueError):
+                Cache("bad", 1024, 4, 64, 3, prefetch_insert=bad)
+
+    def test_set_prefetch_insert_live_change(self):
+        cache = make_cache(1024, 4, 64)
+        assert cache.prefetch_insert_depth == 0
+        cache.set_prefetch_insert(2)
+        assert cache.prefetch_insert_depth == 2
+        assert cache.prefetch_insert == 2
+        cache.set_prefetch_insert("mru")
+        assert cache.prefetch_insert_depth == cache.assoc
+        with pytest.raises(ValueError):
+            cache.set_prefetch_insert(-3)
+
     def test_pollution_bounded_to_one_way(self):
         """Back-to-back prefetches to one set displace at most one way."""
         cache = make_cache(1024, 4, 64)

@@ -195,3 +195,26 @@ class TestFastSlowEquivalence:
         slow = execute(spec, reference=True).to_dict()
         assert json.dumps(fast, sort_keys=True) \
             == json.dumps(slow, sort_keys=True)
+
+
+class TestAdaptiveFastSlowEquivalence:
+    """Same contract under the feedback loop, with epochs actually firing.
+
+    The generic sweep above already covers the adaptive schemes at the
+    default epoch length (where few epochs fit in LIMIT references);
+    this class shrinks the epoch so the policy makes many decisions —
+    knob changes and all — and the two paths must still agree byte for
+    byte.
+    """
+
+    @pytest.mark.parametrize("scheme", ["srp-adaptive", "grp-adaptive"])
+    @pytest.mark.parametrize("workload", ("mcf", "swim", "vpr"))
+    def test_byte_identical_with_active_epochs(self, workload, scheme):
+        config = MachineConfig.scaled(adapt_epoch_accesses=128)
+        spec = RunSpec.create(workload, scheme, config=config,
+                              limit_refs=LIMIT)
+        fast = execute(spec)
+        slow = execute(spec, reference=True)
+        assert fast.adapt["epochs"] >= 8  # the loop genuinely ran
+        assert json.dumps(fast.to_dict(), sort_keys=True) \
+            == json.dumps(slow.to_dict(), sort_keys=True)

@@ -16,6 +16,12 @@ class TestRegistry:
                        "pointer-recursive", "grp", "grp-fix"):
             assert scheme in SCHEMES
 
+    def test_adaptive_schemes_present(self):
+        assert "srp-adaptive" in SCHEMES
+        assert "grp-adaptive" in SCHEMES
+        assert not SCHEMES["srp-adaptive"].hinted  # hint-free by design
+        assert SCHEMES["grp-adaptive"].hinted
+
     def test_unknown_scheme_rejected(self):
         with pytest.raises(KeyError):
             run_workload("swim", "bogus", **FAST)

@@ -54,9 +54,11 @@ REGRESSION_TOLERANCE = 0.30
 FULL_MATRIX = [
     ("ammp", "none"), ("ammp", "srp"), ("ammp", "grp"),
     ("mcf", "none"), ("mcf", "srp"), ("mcf", "grp"),
+    ("mcf", "srp-adaptive"),
     ("swim", "none"), ("swim", "srp"), ("swim", "grp"),
+    ("swim", "grp-adaptive"),
 ]
-SMOKE_MATRIX = [("mcf", "srp"), ("swim", "grp")]
+SMOKE_MATRIX = [("mcf", "srp"), ("swim", "grp"), ("mcf", "srp-adaptive")]
 
 TABLE1_CMD = [
     "-m", "repro.experiments", "table1",
