@@ -6,6 +6,8 @@ Public API highlights:
   describe any (benchmark, scheme) run as frozen data and execute it.
 * :func:`repro.sim.runner.run_workload` — one-call convenience shim.
 * :func:`repro.sim.batch.run_batch` — fan RunSpecs across cores.
+* :class:`repro.sim.supervisor.SweepSupervisor` — resilient sweeps with
+  checkpoint/resume, timeouts, retries, and a failure budget.
 * :class:`repro.sim.cache.ResultCache` — persistent result cache.
 * :class:`repro.sim.config.MachineConfig` — the simulated machine.
 * :mod:`repro.compiler` — the hint-generating mini-compiler.
@@ -18,13 +20,17 @@ Public API highlights:
 from repro.sim.batch import run_batch
 from repro.sim.cache import ResultCache
 from repro.sim.config import MachineConfig
+from repro.sim.faults import FaultPlan
 from repro.sim.runner import SCHEMES, execute, run_workload
 from repro.sim.spec import RunSpec
-from repro.sim.stats import RunResult, SimStats
+from repro.sim.stats import RunFailure, RunResult, SimStats, result_from_dict
+from repro.sim.supervisor import SweepAborted, SweepSupervisor
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
-    "MachineConfig", "ResultCache", "RunResult", "RunSpec", "SCHEMES",
-    "SimStats", "execute", "run_batch", "run_workload", "__version__",
+    "FaultPlan", "MachineConfig", "ResultCache", "RunFailure", "RunResult",
+    "RunSpec", "SCHEMES", "SimStats", "SweepAborted", "SweepSupervisor",
+    "execute", "result_from_dict", "run_batch", "run_workload",
+    "__version__",
 ]

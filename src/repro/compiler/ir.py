@@ -151,6 +151,8 @@ class Stmt:
 
 
 class Block(Stmt):
+    """A statement sequence (the body of a loop or a whole program)."""
+
     __slots__ = ("stmts",)
 
     def __init__(self, stmts):

@@ -10,10 +10,20 @@ Usage::
     python -m repro.experiments --no-cache       # ignore the result cache
     python -m repro.experiments --metrics        # observability tables too
     python -m repro.experiments metrics --trace traces/   # + JSONL traces
+    python -m repro.experiments --timeout 300 --retries 3   # resilient
+    python -m repro.experiments --resume         # continue a killed sweep
 
 Results persist in a content-keyed cache (``.repro-cache`` by default;
 ``--cache-dir`` or ``$REPRO_CACHE_DIR`` override it), so a second
 invocation reproduces the same tables without re-simulating.
+
+Any resilience flag (``--resume``, ``--timeout``, ``--max-failures``,
+``--checkpoint``) — or a ``$REPRO_FAULT_PLAN`` — routes the sweep
+through the checkpointed supervisor: per-cell state is journaled (to
+``--checkpoint``, default ``.repro-cache/sweep.ckpt``) so an
+interrupted invocation resumes with ``--resume``; crashed or hung
+workers are retried with backoff; cells that fail permanently render as
+``n/a`` with a footnote instead of killing the sweep.
 """
 
 import argparse
@@ -37,8 +47,13 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentContext
 from repro.sim.cache import ResultCache
+from repro.sim.faults import FAULT_PLAN_ENV
 from repro.sim.runner import SCHEMES
+from repro.sim.supervisor import SweepAborted
 from repro.trace.store import TRACE_CACHE_ENV, reset_default_store
+
+#: Default checkpoint journal for resilient sweeps.
+DEFAULT_CHECKPOINT = os.path.join(".repro-cache", "sweep.ckpt")
 
 RUNNERS = {
     "fig1": lambda ctx: [fig1.run(ctx)],
@@ -60,6 +75,16 @@ RUNNERS = {
 #: Experiments that consume simulation runs (table3 only runs the
 #: compiler); selecting any of these warms the full matrix up-front.
 SIM_RUNNERS = frozenset(RUNNERS) - {"table3"}
+
+
+def _done_cells(checkpoint):
+    """How many cells a checkpoint journal records as done."""
+    from repro.sim.supervisor import Checkpoint
+    if checkpoint is None:
+        return 0
+    cells = Checkpoint.load(checkpoint)
+    return sum(1 for record in cells.values()
+               if record.get("state") == "done")
 
 
 def _progress(done, total, spec, cached):
@@ -100,6 +125,25 @@ def main(argv=None):
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="write per-run JSONL event traces into DIR "
                              "(bypasses cache reads so traces appear)")
+    resilience = parser.add_argument_group(
+        "resilience (any of these routes runs through the checkpointed "
+        "sweep supervisor)")
+    resilience.add_argument("--resume", action="store_true",
+                            help="skip cells the checkpoint journal "
+                                 "already records as done")
+    resilience.add_argument("--retries", type=int, default=None,
+                            help="extra attempts per cell after a crash, "
+                                 "hang, or error (supervised default: 2)")
+    resilience.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="kill and retry a worker after SECONDS")
+    resilience.add_argument("--max-failures", type=int, default=None,
+                            metavar="N",
+                            help="abort the sweep after more than N cells "
+                                 "fail permanently (default: unlimited)")
+    resilience.add_argument("--checkpoint", metavar="FILE", default=None,
+                            help="checkpoint journal path (default %s "
+                                 "when supervised)" % DEFAULT_CHECKPOINT)
     args = parser.parse_args(argv)
 
     unknown = [n for n in args.experiments if n not in RUNNERS]
@@ -118,22 +162,48 @@ def main(argv=None):
         os.environ[TRACE_CACHE_ENV] = "off"
         reset_default_store()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    ctx = ExperimentContext(limit_refs=args.refs, jobs=args.jobs,
-                            cache=cache, trace_dir=args.trace)
+    supervised = (args.resume or args.retries is not None
+                  or args.timeout is not None
+                  or args.max_failures is not None
+                  or args.checkpoint is not None
+                  or bool(os.environ.get(FAULT_PLAN_ENV)))
+    checkpoint = args.checkpoint
+    if supervised and checkpoint is None:
+        checkpoint = DEFAULT_CHECKPOINT
+    ctx = ExperimentContext(
+        limit_refs=args.refs, jobs=args.jobs, cache=cache,
+        trace_dir=args.trace,
+        checkpoint=checkpoint if supervised else None,
+        resume=args.resume,
+        retries=2 if args.retries is None else args.retries,
+        timeout=args.timeout, max_failures=args.max_failures)
     start = time.time()
     sims_selected = any(name in SIM_RUNNERS for name in names)
-    if sims_selected and (args.jobs != 1 or SIM_RUNNERS <= set(names)):
-        # Declare the whole matrix up-front so the batch runner can fan
-        # it across cores; the tables below then only read memoized runs.
-        # A serial subset invocation skips this and simulates lazily,
-        # running only the cells that subset actually consumes.
-        ctx.prefetch_all(progress=None if args.quiet else _progress)
-    for name in names:
-        for result in RUNNERS[name](ctx):
-            print(result.render())
-            print()
+    try:
+        if sims_selected and (args.jobs != 1 or SIM_RUNNERS <= set(names)):
+            # Declare the whole matrix up-front so the batch runner can
+            # fan it across cores; the tables below then only read
+            # memoized runs.  A serial subset invocation skips this and
+            # simulates lazily, running only the cells that subset
+            # actually consumes.
+            ctx.prefetch_all(progress=None if args.quiet else _progress)
+        for name in names:
+            for result in RUNNERS[name](ctx):
+                print(result.render())
+                print()
+    except SweepAborted as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        print("fix the cause and rerun with --resume to keep the %d "
+              "completed cell(s)." % _done_cells(checkpoint),
+              file=sys.stderr)
+        return 1
+    if ctx.failures:
+        print("warning: %d run(s) failed permanently; affected tables "
+              "carry a partial-results footnote" % len(ctx.failures),
+              file=sys.stderr)
     print("done in %.1fs" % (time.time() - start), file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

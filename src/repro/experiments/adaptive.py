@@ -45,6 +45,8 @@ def run(ctx, benchmarks=None):
         base = ctx.run(bench, "none")
         for scheme in SCHEMES:
             stats = ctx.run(bench, scheme)
+            if not (base.ok and stats.ok):
+                continue  # partial sweep: footnote names the missing runs
             adapt = stats.adapt
             final = adapt.get("final", {})
             if adapt:
@@ -68,9 +70,10 @@ def run(ctx, benchmarks=None):
         ["benchmark", "scheme", "traffic", "pollmiss", "CPI", "acc%",
          "changes", "knobs"],
         rows,
-        notes="traffic = DRAM bytes normalized to no prefetching; "
-              "knobs = final enable state / ladder level of the "
-              "feedback policy (static schemes show '-').",
+        notes=ctx.annotate(
+            "traffic = DRAM bytes normalized to no prefetching; "
+            "knobs = final enable state / ladder level of the "
+            "feedback policy (static schemes show '-')."),
     )
 
 
@@ -87,6 +90,8 @@ def run_recovery(ctx, benchmarks=None):
         srp = ctx.run(bench, "srp")
         adaptive = ctx.run(bench, "srp-adaptive")
         grp = ctx.run(bench, "grp")
+        if not (base.ok and srp.ok and adaptive.ok and grp.ok):
+            continue  # partial sweep: footnote names the missing runs
         srp_traffic = srp.traffic_ratio_over(base)
         ada_traffic = adaptive.traffic_ratio_over(base)
         grp_traffic = grp.traffic_ratio_over(base)
@@ -133,7 +138,8 @@ def run_recovery(ctx, benchmarks=None):
         ["benchmark", "srp.traf", "ada.traf", "grp.traf", "recov%",
          "srp.poll", "ada.poll", "srp.CPI", "ada.CPI", "win"],
         rows,
-        notes="recov% = share of SRP's traffic overshoot over GRP that "
-              "the throttle removed without hints; win = strictly less "
-              "traffic AND pollution than srp at CPI <= srp.",
+        notes=ctx.annotate(
+            "recov% = share of SRP's traffic overshoot over GRP that "
+            "the throttle removed without hints; win = strictly less "
+            "traffic AND pollution than srp at CPI <= srp."),
     )

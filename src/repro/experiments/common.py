@@ -10,12 +10,22 @@ cell of the matrix is a frozen :class:`~repro.sim.spec.RunSpec`,
 :meth:`ExperimentContext.matrix` declares the full standard matrix
 up-front, and :meth:`ExperimentContext.prefetch_all` resolves it through
 the parallel batch runner and the persistent result cache.
+
+When any resilience knob is set (``checkpoint``, ``resume``, ``timeout``,
+``max_failures``, a fault plan), runs resolve through the
+:class:`~repro.sim.supervisor.SweepSupervisor` instead, and the context
+degrades gracefully: failed cells hold
+:class:`~repro.sim.stats.RunFailure` records, the ratio helpers return
+``None`` for them, geomeans skip them, :func:`format_table` renders them
+as ``n/a``, and :meth:`ExperimentContext.partial_note` summarizes what is
+missing so a table built from a partial sweep says so in its footnote.
 """
 
 from repro.sim.batch import run_batch
 from repro.sim.config import MachineConfig
 from repro.sim.spec import RunSpec
 from repro.sim.stats import geometric_mean
+from repro.sim.supervisor import SweepSupervisor
 from repro.workloads import get_workload, workload_names
 
 #: Table 3 order (SPEC number order, sphinx last).
@@ -58,10 +68,22 @@ class ExperimentContext:
     ``trace_dir``, when given, makes every simulated run write its JSONL
     event trace there; traced runs bypass cache reads so the trace files
     actually appear (results are unchanged either way).
+
+    Resilience knobs (all optional; setting any routes runs through the
+    sweep supervisor): ``checkpoint`` (journal path), ``resume`` (reuse
+    an existing journal's completed cells), ``retries`` (extra attempts
+    per cell, used only in supervised mode), ``timeout`` (seconds per
+    worker attempt), ``max_failures`` (permanent-failure budget before
+    the sweep aborts), ``fault_plan`` (a
+    :class:`~repro.sim.faults.FaultPlan` for deterministic fault
+    injection; in supervised mode the ``REPRO_FAULT_PLAN`` env plan
+    applies even when this is None).
     """
 
     def __init__(self, config=None, limit_refs=None, scale=1.0, seed=12345,
-                 jobs=1, cache=None, trace_dir=None):
+                 jobs=1, cache=None, trace_dir=None, checkpoint=None,
+                 resume=False, retries=2, timeout=None, max_failures=None,
+                 fault_plan=None):
         self.config = config or MachineConfig.scaled()
         self.limit_refs = limit_refs
         self.scale = scale
@@ -69,7 +91,23 @@ class ExperimentContext:
         self.jobs = jobs
         self.cache = cache
         self.trace_dir = trace_dir
-        self._results = {}  # RunSpec -> SimStats
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.retries = retries
+        self.timeout = timeout
+        self.max_failures = max_failures
+        self.fault_plan = fault_plan
+        #: Permanent RunFailure records accumulated across prefetches.
+        self.failures = []
+        self._resume_next = resume  # later supervisor runs share the journal
+        self._results = {}  # RunSpec -> SimStats | RunFailure
+
+    @property
+    def resilient(self):
+        """Whether runs route through the sweep supervisor."""
+        return (self.checkpoint is not None or self.resume
+                or self.timeout is not None or self.max_failures is not None
+                or self.fault_plan is not None)
 
     # ------------------------------------------------------------------
     def spec(self, benchmark, scheme, mode="real", policy="default"):
@@ -106,10 +144,29 @@ class ExperimentContext:
         return list(dict.fromkeys(specs))
 
     def prefetch(self, specs, progress=None):
-        """Resolve RunSpecs through the batch runner + persistent cache."""
+        """Resolve RunSpecs through the batch runner + persistent cache.
+
+        In resilient mode the supervisor runs them instead; its permanent
+        failures accumulate on :attr:`failures` and occupy their result
+        slots as RunFailure records.  Supervisor runs after the first
+        reuse the same checkpoint journal (``resume``), so one context
+        resolving its matrix across several calls keeps one journal.
+        """
         todo = [s for s in specs if s not in self._results]
-        results = run_batch(todo, jobs=self.jobs, cache=self.cache,
-                            progress=progress, trace_dir=self.trace_dir)
+        if self.resilient:
+            supervisor = SweepSupervisor(
+                todo, jobs=self.jobs, cache=self.cache, progress=progress,
+                trace_dir=self.trace_dir, checkpoint=self.checkpoint,
+                resume=self._resume_next, retries=self.retries,
+                timeout=self.timeout, max_failures=self.max_failures,
+                fault_plan=self.fault_plan)
+            results = supervisor.run()
+            self.failures.extend(supervisor.failures)
+            if self.checkpoint is not None:
+                self._resume_next = True
+        else:
+            results = run_batch(todo, jobs=self.jobs, cache=self.cache,
+                                progress=progress, trace_dir=self.trace_dir)
         self._results.update(zip(todo, results))
         return [self._results[s] for s in specs]
 
@@ -118,13 +175,39 @@ class ExperimentContext:
         return self.prefetch(self.matrix(benchmarks), progress=progress)
 
     def run(self, benchmark, scheme, mode="real", policy="default"):
-        """Run (or fetch from cache) one simulation; returns SimStats."""
+        """Run (or fetch from cache) one simulation.
+
+        Returns a SimStats — or, in resilient mode, possibly a
+        RunFailure for a cell that failed permanently (check ``.ok``).
+        """
         spec = self.spec(benchmark, scheme, mode, policy)
         if spec not in self._results:
             self.prefetch([spec])
         return self._results[spec]
 
+    def ok(self, benchmark, scheme, mode="real", policy="default"):
+        """Whether this cell resolved to a usable result (no new run)."""
+        return self.run(benchmark, scheme, mode, policy).ok
+
+    def partial_note(self):
+        """Footnote text describing failed cells, or "" when none failed."""
+        if not self.failures:
+            return ""
+        labels = sorted({f.label for f in self.failures})
+        return ("Partial results: %d run(s) failed permanently and are "
+                "shown as n/a or omitted: %s."
+                % (len(labels), ", ".join(labels)))
+
+    def annotate(self, notes):
+        """Append the partial-results footnote to a table's notes."""
+        partial = self.partial_note()
+        if not partial:
+            return notes
+        return (notes + "\n" + partial) if notes else partial
+
     # ------------------------------------------------------------------
+    # Ratio helpers return None when either endpoint failed permanently
+    # (resilient mode); geomeans skip those cells.
     def speedup(self, benchmark, scheme, mode="real", policy="default"):
         # The caller's policy is threaded through to the baseline run;
         # RunSpec.create canonicalizes it away for the unhinted "none"
@@ -132,54 +215,69 @@ class ExperimentContext:
         # policy shares one baseline run and numerator/denominator stay
         # symmetric by construction.
         base = self.run(benchmark, "none", policy=policy)
-        return self.run(benchmark, scheme, mode, policy).speedup_over(base)
+        stats = self.run(benchmark, scheme, mode, policy)
+        if not (base.ok and stats.ok):
+            return None
+        return stats.speedup_over(base)
 
     def traffic_ratio(self, benchmark, scheme, mode="real",
                       policy="default"):
         base = self.run(benchmark, "none", policy=policy)
         stats = self.run(benchmark, scheme, mode, policy)
+        if not (base.ok and stats.ok):
+            return None
         return stats.traffic_ratio_over(base)
 
     def coverage(self, benchmark, scheme, policy="default"):
         base = self.run(benchmark, "none", policy=policy)
-        return self.run(benchmark, scheme, policy=policy).coverage_over(base)
+        stats = self.run(benchmark, scheme, policy=policy)
+        if not (base.ok and stats.ok):
+            return None
+        return stats.coverage_over(base)
 
     def perfect_l2_gap(self, benchmark, scheme="none", policy="default"):
         """Percent IPC shortfall of ``scheme`` vs a perfect L2 (>= 0)."""
         perfect = self.run(benchmark, "none", mode="perfect_l2")
         real = self.run(benchmark, scheme, policy=policy)
+        if not (perfect.ok and real.ok):
+            return None
         if perfect.ipc == 0:
             return 0.0
         return 100.0 * (1.0 - real.ipc / perfect.ipc)
 
     def geomean_speedup(self, scheme, benchmarks=None, policy="default"):
         names = benchmarks or PERF_BENCHMARKS
-        return geometric_mean(
-            [self.speedup(b, scheme, policy=policy) for b in names]
-        )
+        values = [self.speedup(b, scheme, policy=policy) for b in names]
+        return geometric_mean([v for v in values if v is not None])
 
     def geomean_traffic(self, scheme, benchmarks=None, policy="default"):
         names = benchmarks or PERF_BENCHMARKS
-        return geometric_mean(
-            [self.traffic_ratio(b, scheme, policy=policy) for b in names]
-        )
+        values = [self.traffic_ratio(b, scheme, policy=policy)
+                  for b in names]
+        return geometric_mean([v for v in values if v is not None])
 
     def mean_gap(self, scheme, benchmarks=None, policy="default"):
         names = benchmarks or PERF_BENCHMARKS
-        perfect = geometric_mean([
-            self.run(b, "none", mode="perfect_l2").ipc for b in names
-        ])
-        real = geometric_mean([
-            self.run(b, scheme, policy=policy).ipc for b in names
-        ])
+        pairs = [(self.run(b, "none", mode="perfect_l2"),
+                  self.run(b, scheme, policy=policy)) for b in names]
+        pairs = [(p, r) for p, r in pairs if p.ok and r.ok]
+        perfect = geometric_mean([p.ipc for p, _ in pairs])
+        real = geometric_mean([r.ipc for _, r in pairs])
         if perfect == 0:
             return 0.0
         return 100.0 * (1.0 - real / perfect)
 
 
+def rnd(value, digits=3):
+    """``round`` that passes None through (a failed cell stays n/a)."""
+    return None if value is None else round(value, digits)
+
+
 def format_table(headers, rows, title=None):
-    """Render an aligned plain-text table."""
+    """Render an aligned plain-text table (None cells render as n/a)."""
     def fmt(cell):
+        if cell is None:
+            return "n/a"
         if isinstance(cell, float):
             return "%.3f" % cell
         return str(cell)

@@ -12,20 +12,21 @@ from repro.experiments.common import (
     ExperimentResult,
     FP_BENCHMARKS,
     INT_BENCHMARKS,
+    rnd,
 )
 
 
 def _rows(ctx, names):
     rows = []
     for bench in names:
-        perfect = ctx.run(bench, "none", mode="perfect_l2")
-        base = ctx.run(bench, "none")
+        # perfect-L2 "speedup" == perfect.ipc / base.ipc, and the helper
+        # is None-safe when either endpoint failed in a partial sweep.
         rows.append([
             bench,
-            round(ctx.speedup(bench, "stride"), 3),
-            round(ctx.speedup(bench, "srp"), 3),
-            round(ctx.speedup(bench, "grp"), 3),
-            round(perfect.ipc / base.ipc if base.ipc else 0.0, 3),
+            rnd(ctx.speedup(bench, "stride")),
+            rnd(ctx.speedup(bench, "srp")),
+            rnd(ctx.speedup(bench, "grp")),
+            rnd(ctx.speedup(bench, "none", mode="perfect_l2")),
         ])
     return rows
 
@@ -37,6 +38,7 @@ def run(ctx, benchmarks=None):
         "(speedup over no prefetching)",
         ["benchmark", "stride", "SRP", "GRP", "perfect-L2"],
         int_rows,
+        notes=ctx.annotate(""),
     )
 
 
@@ -47,4 +49,5 @@ def run_fp(ctx, benchmarks=None):
         "benchmarks (speedup over no prefetching)",
         ["benchmark", "stride", "SRP", "GRP", "perfect-L2"],
         fp_rows,
+        notes=ctx.annotate(""),
     )

@@ -6,7 +6,7 @@ GRP averages +23%; stride +9%.  GRP cuts >20% of SRP's traffic on ten
 of seventeen benchmarks and >50% on six.
 """
 
-from repro.experiments.common import ExperimentResult, PERF_BENCHMARKS
+from repro.experiments.common import ExperimentResult, PERF_BENCHMARKS, rnd
 from repro.sim.stats import geometric_mean
 
 
@@ -16,18 +16,21 @@ def run(ctx, benchmarks=None):
     for bench in names:
         rows.append([
             bench,
-            round(ctx.traffic_ratio(bench, "stride"), 2),
-            round(ctx.traffic_ratio(bench, "srp"), 2),
-            round(ctx.traffic_ratio(bench, "grp"), 2),
+            rnd(ctx.traffic_ratio(bench, "stride"), 2),
+            rnd(ctx.traffic_ratio(bench, "srp"), 2),
+            rnd(ctx.traffic_ratio(bench, "grp"), 2),
         ])
+
+    def col_geomean(idx):
+        values = [r[idx] for r in rows if r[idx] is not None]
+        return round(geometric_mean(values), 2)
+
     rows.append([
-        "geomean",
-        round(geometric_mean([r[1] for r in rows]), 2),
-        round(geometric_mean([r[2] for r in rows]), 2),
-        round(geometric_mean([r[3] for r in rows]), 2),
+        "geomean", col_geomean(1), col_geomean(2), col_geomean(3),
     ])
     return ExperimentResult(
         "Figure 12: normalized memory traffic (vs no prefetching)",
         ["benchmark", "stride", "SRP", "GRP"],
         rows,
+        notes=ctx.annotate(""),
     )

@@ -8,25 +8,23 @@ structures — while SRP beats pointer prefetching everywhere except
 twolf and sphinx (by ~2%).
 """
 
-from repro.experiments.common import C_BENCHMARKS, ExperimentResult
+from repro.experiments.common import C_BENCHMARKS, ExperimentResult, rnd
 
 
 def run(ctx, benchmarks=None):
     names = benchmarks or C_BENCHMARKS
     rows = []
     for bench in names:
-        ptr = ctx.speedup(bench, "pointer")
-        rec = ctx.speedup(bench, "pointer-recursive")
-        srp = ctx.speedup(bench, "srp")
         rows.append([
             bench,
-            round(ptr, 3),
-            round(rec, 3),
-            round(srp, 3),
+            rnd(ctx.speedup(bench, "pointer")),
+            rnd(ctx.speedup(bench, "pointer-recursive")),
+            rnd(ctx.speedup(bench, "srp")),
         ])
     return ExperimentResult(
         "Figure 9: performance gains from pointer prefetching "
         "(speedup over no prefetching)",
         ["benchmark", "pointer", "recursive", "SRP"],
         rows,
+        notes=ctx.annotate(""),
     )

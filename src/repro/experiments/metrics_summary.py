@@ -25,6 +25,8 @@ def run(ctx, benchmarks=None):
     for bench in names:
         for scheme in SCHEMES:
             stats = ctx.run(bench, scheme)
+            if not stats.ok:
+                continue  # partial sweep: footnote names the missing run
             fills = max(1, stats.timely_prefetches + stats.late_prefetches
                         + stats.useless_evicted_prefetches
                         + stats.never_referenced_prefetches)
@@ -45,8 +47,9 @@ def run(ctx, benchmarks=None):
         ["benchmark", "scheme", "timely", "late", "useless", "neverref",
          "timely%", "pollmiss", "util%", "trafficKB"],
         rows,
-        notes="timely+late+useless+neverref == prefetch fills; "
-              "pollmiss = demand misses to blocks a prefetch evicted.",
+        notes=ctx.annotate(
+            "timely+late+useless+neverref == prefetch fills; "
+            "pollmiss = demand misses to blocks a prefetch evicted."),
     )
 
 
@@ -59,6 +62,8 @@ def run_deltas(ctx, benchmarks=None):
         base = ctx.run(bench, "none")
         srp = ctx.run(bench, "srp")
         grp = ctx.run(bench, "grp")
+        if not (base.ok and srp.ok and grp.ok):
+            continue  # partial sweep: footnote names the missing runs
         srp_traffic = srp.traffic_ratio_over(base)
         grp_traffic = grp.traffic_ratio_over(base)
         ratio = grp.traffic_bytes / srp.traffic_bytes \
@@ -87,6 +92,7 @@ def run_deltas(ctx, benchmarks=None):
         ["benchmark", "srp.traf", "grp.traf", "grp/srp",
          "srp.poll", "grp.poll", "d.poll", "srp.util%", "grp.util%"],
         rows,
-        notes="traf = DRAM traffic normalized to no prefetching; "
-              "grp/srp < 1 means guidance cut SRP's bandwidth cost.",
+        notes=ctx.annotate(
+            "traf = DRAM traffic normalized to no prefetching; "
+            "grp/srp < 1 means guidance cut SRP's bandwidth cost."),
     )

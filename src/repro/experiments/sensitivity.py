@@ -13,6 +13,7 @@ from repro.experiments.common import (
     ExperimentResult,
     PERF_BENCHMARKS,
     POLICIES,
+    rnd,
 )
 
 
@@ -27,6 +28,7 @@ def run(ctx, benchmarks=None):
         "Section 5.4: compiler spatial-policy sensitivity (GRP)",
         ["policy", "geomean speedup", "geomean traffic"],
         rows,
+        notes=ctx.annotate(""),
     )
 
 
@@ -37,10 +39,11 @@ def run_per_benchmark(ctx, benchmarks=None):
     for bench in names:
         row = [bench]
         for policy in POLICIES:
-            row.append(round(ctx.speedup(bench, "grp", policy=policy), 3))
+            row.append(rnd(ctx.speedup(bench, "grp", policy=policy)))
         rows.append(row)
     return ExperimentResult(
         "Section 5.4 detail: GRP speedup per compiler policy",
         ["benchmark"] + POLICIES,
         rows,
+        notes=ctx.annotate(""),
     )

@@ -52,6 +52,7 @@ def run(ctx, benchmarks=None):
         ["scheme", "speedup", "traffic", "gap%",
          "paper.speedup", "paper.traffic", "paper.gap%"],
         rows,
-        notes=("Geometric means over %d benchmarks (crafty excluded, as "
-               "in the paper)." % len(names)),
+        notes=ctx.annotate(
+            "Geometric means over %d benchmarks (crafty excluded, as "
+            "in the paper)." % len(names)),
     )

@@ -39,6 +39,8 @@ def run(ctx, benchmarks=None):
     for bench in names:
         var = ctx.run(bench, "grp")
         fix = ctx.run(bench, "grp-fix")
+        if not (var.ok and fix.ok and ctx.ok(bench, "none")):
+            continue  # partial sweep: the footnote names the missing runs
         var_traffic = ctx.traffic_ratio(bench, "grp")
         fix_traffic = ctx.traffic_ratio(bench, "grp-fix")
         dist = region_distribution(var)
@@ -57,6 +59,7 @@ def run(ctx, benchmarks=None):
         ["benchmark", "Var traffic", "Fix traffic",
          "%2blk", "%4blk", "%8blk", "%64blk", "Var/Fix perf"],
         rows,
-        notes="Traffic normalized to no prefetching; distribution is the "
-              "share of GRP/Var spatial region allocations by size.",
+        notes=ctx.annotate(
+            "Traffic normalized to no prefetching; distribution is the "
+            "share of GRP/Var spatial region allocations by size."),
     )

@@ -19,6 +19,8 @@ def run(ctx, benchmarks=None):
     rows = []
     for bench in names:
         base = ctx.run(bench, "none")
+        if not base.ok or not all(ctx.ok(bench, s) for s in SCHEMES):
+            continue  # partial sweep: the footnote names the missing runs
         row = [
             bench,
             round(100.0 * base.l2_miss_rate, 1),
@@ -37,9 +39,10 @@ def run(ctx, benchmarks=None):
     def mean(idx):
         return round(sum(r[idx] for r in rows) / len(rows), 1)
 
-    rows.append(
-        ["average"] + [mean(i) for i in range(1, len(rows[0]))]
-    )
+    if rows:
+        rows.append(
+            ["average"] + [mean(i) for i in range(1, len(rows[0]))]
+        )
     return ExperimentResult(
         "Table 5: prefetching accuracy, coverage and memory traffic",
         ["benchmark", "miss%", "baseKB",
@@ -47,4 +50,5 @@ def run(ctx, benchmarks=None):
          "srp.cov", "srp.acc", "srpKB",
          "grp.cov", "grp.acc", "grpKB"],
         rows,
+        notes=ctx.annotate(""),
     )

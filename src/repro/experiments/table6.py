@@ -7,7 +7,7 @@ synthetic benchmarks were constructed — see each workload module's
 docstring); this experiment reports the measured GRP gap next to them.
 """
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, rnd
 
 #: benchmark -> (paper GRP gap %, dominant miss cause)
 PAPER_ROWS = {
@@ -27,10 +27,11 @@ def run(ctx, benchmarks=None):
     for bench in names:
         gap = ctx.perfect_l2_gap(bench, scheme="grp")
         paper_gap, cause = PAPER_ROWS[bench]
-        rows.append([bench, round(gap, 2), paper_gap, cause])
+        rows.append([bench, rnd(gap, 2), paper_gap, cause])
     return ExperimentResult(
         "Table 6: level 2 miss characteristics",
         ["benchmark", "GRP gap%", "paper gap%", "dominant miss cause"],
         rows,
-        notes="Gap = IPC shortfall of GRP versus a perfect L2.",
+        notes=ctx.annotate(
+            "Gap = IPC shortfall of GRP versus a perfect L2."),
     )

@@ -7,24 +7,31 @@ Two layers are exportable:
 * raw serialized RunResults — the ``SimStats.to_dict`` form the batch
   runner and persistent cache move around (:func:`runs_to_json`,
   :func:`runs_from_json`, :func:`runs_to_csv`).
+
+Both raw-layer exporters accept failed slots too: a resilient sweep may
+hand back :class:`~repro.sim.stats.RunFailure` records alongside
+SimStats, which serialize with their ``failed`` marker, re-hydrate via
+:func:`~repro.sim.stats.result_from_dict`, and render a CSV row whose
+``status`` column reads ``failed:<kind>`` with the metric columns blank.
 """
 
 import csv
 import io
 import json
 
-from repro.sim.stats import SimStats
+from repro.sim.stats import result_from_dict
 
 #: The stable column schema of :func:`runs_to_csv`, in export order.
 #: Downstream consumers (CI's schema check, notebooks, spreadsheets) key
 #: on these names; extend the tuple deliberately, never reorder it.
+#: ``status`` is ``"ok"`` or ``"failed:<kind>"`` (resilient sweeps only).
 SUMMARY_COLUMNS = (
     "workload", "scheme", "instructions", "cycles", "ipc",
     "l2_miss_rate", "l2_demand_misses", "traffic_bytes",
     "prefetch_accuracy", "dram_demand_blocks", "dram_prefetch_blocks",
     "timely_prefetches", "late_prefetches", "useless_evicted_prefetches",
     "never_referenced_prefetches", "pollution_misses",
-    "mean_channel_utilization",
+    "mean_channel_utilization", "status",
 )
 
 
@@ -63,8 +70,12 @@ def runs_to_json(runs):
 
 
 def runs_from_json(text):
-    """Inverse of :func:`runs_to_json`: JSON text -> list of SimStats."""
-    return [SimStats.from_dict(entry) for entry in json.loads(text)]
+    """Inverse of :func:`runs_to_json`: JSON text -> result objects.
+
+    Each entry re-hydrates as a SimStats, or as a RunFailure when it
+    carries the ``failed`` marker (a resilient sweep's degraded slots).
+    """
+    return [result_from_dict(entry) for entry in json.loads(text)]
 
 
 def runs_to_csv(runs):
@@ -72,11 +83,13 @@ def runs_to_csv(runs):
 
     Columns are exactly :data:`SUMMARY_COLUMNS`, in that order, for every
     input — a deterministic schema regardless of which runs are exported.
+    RunFailure slots contribute a row too: identification and ``status``
+    filled in, metric columns empty.
     """
     out = io.StringIO()
     writer = csv.writer(out)
     writer.writerow(SUMMARY_COLUMNS)
     for stats in runs:
         row = stats.summary()
-        writer.writerow([row[name] for name in SUMMARY_COLUMNS])
+        writer.writerow([row.get(name, "") for name in SUMMARY_COLUMNS])
     return out.getvalue()

@@ -8,17 +8,24 @@
   cores with deterministic result ordering.
 * :class:`~repro.sim.cache.ResultCache` — persistent, content-keyed JSON
   cache of results.
+* :class:`~repro.sim.supervisor.SweepSupervisor` — resilient sweeps:
+  checkpoint/resume, per-worker timeouts, bounded retries, graceful
+  degradation into :class:`~repro.sim.stats.RunFailure` slots.
 """
 
 from repro.sim.batch import run_batch
 from repro.sim.cache import ResultCache
 from repro.sim.config import MachineConfig
+from repro.sim.faults import FaultPlan
 from repro.sim.runner import SCHEMES, execute, run_workload
 from repro.sim.simulator import Simulator
 from repro.sim.spec import RunSpec
-from repro.sim.stats import RunResult, SimStats
+from repro.sim.stats import RunFailure, RunResult, SimStats, result_from_dict
+from repro.sim.supervisor import SweepAborted, SweepSupervisor
 
 __all__ = [
-    "MachineConfig", "ResultCache", "RunResult", "RunSpec", "SCHEMES",
-    "SimStats", "Simulator", "execute", "run_batch", "run_workload",
+    "FaultPlan", "MachineConfig", "ResultCache", "RunFailure", "RunResult",
+    "RunSpec", "SCHEMES", "SimStats", "Simulator", "SweepAborted",
+    "SweepSupervisor", "execute", "result_from_dict", "run_batch",
+    "run_workload",
 ]

@@ -5,12 +5,25 @@ Usage::
     python -m repro.sim swim grp
     python -m repro.sim mcf srp --refs 100000 --policy conservative
     python -m repro.sim art none --mode perfect_l2
+    python -m repro.sim art grp --timeout 120 --retries 3
+
+Passing any resilience flag (``--timeout``, ``--retries``,
+``--checkpoint``, ``--resume``) — or setting ``$REPRO_FAULT_PLAN`` —
+routes the run through the sweep supervisor: the simulation runs in an
+isolated worker process with a deadline and bounded retries, and a
+permanent failure prints a structured failure record and exits 1 instead
+of a traceback.
 """
 
 import argparse
+import os
+import sys
 
 from repro.sim.config import MachineConfig
+from repro.sim.faults import FAULT_PLAN_ENV
 from repro.sim.runner import SCHEMES, run_workload
+from repro.sim.spec import RunSpec
+from repro.sim.supervisor import SweepSupervisor
 from repro.workloads import workload_names
 
 
@@ -38,12 +51,44 @@ def main(argv=None):
                              "timeliness, pollution, DRAM utilization)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write the run's JSONL event trace to FILE")
+    resilience = parser.add_argument_group(
+        "resilience (any of these routes the run through the sweep "
+        "supervisor)")
+    resilience.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="kill and retry the worker after SECONDS")
+    resilience.add_argument("--retries", type=int, default=None,
+                            help="extra attempts after a crash, hang, or "
+                                 "error (supervised default: 2)")
+    resilience.add_argument("--checkpoint", metavar="FILE", default=None,
+                            help="journal the run's state to FILE")
+    resilience.add_argument("--resume", action="store_true",
+                            help="reuse a completed result from the "
+                                 "--checkpoint journal")
     args = parser.parse_args(argv)
 
     config = getattr(MachineConfig, args.config)()
-    stats = run_workload(args.benchmark, args.scheme, config=config,
-                         mode=args.mode, policy=args.policy,
-                         limit_refs=args.refs, trace_path=args.trace)
+    supervised = (args.timeout is not None or args.retries is not None
+                  or args.checkpoint is not None or args.resume
+                  or bool(os.environ.get(FAULT_PLAN_ENV)))
+    if supervised:
+        spec = RunSpec.create(args.benchmark, args.scheme, config=config,
+                              mode=args.mode, policy=args.policy,
+                              limit_refs=args.refs)
+        supervisor = SweepSupervisor(
+            [spec], checkpoint=args.checkpoint, resume=args.resume,
+            retries=2 if args.retries is None else args.retries,
+            timeout=args.timeout,
+            trace_path_fn=(lambda _spec: args.trace) if args.trace
+            else None)
+        stats = supervisor.run()[0]
+        if not stats.ok:
+            print("run failed permanently: %r" % stats, file=sys.stderr)
+            return 1
+    else:
+        stats = run_workload(args.benchmark, args.scheme, config=config,
+                             mode=args.mode, policy=args.policy,
+                             limit_refs=args.refs, trace_path=args.trace)
     print("machine: %s" % config.describe())
     print("%s / %s (%s, policy=%s)" % (args.benchmark, args.scheme,
                                        args.mode, args.policy))
@@ -84,4 +129,4 @@ def main(argv=None):
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -11,6 +11,13 @@ fresh results are written back.  Specs and results cross the process
 boundary in their ``to_dict`` forms, the same serialization the
 persistent cache uses, so a parallel run exercises exactly the round-trip
 the cache depends on.
+
+:func:`run_batch` assumes infallible workers — a crashed or hung worker
+takes the whole batch down.  For long sweeps that must survive crashes,
+hangs, and interruptions, :class:`repro.sim.supervisor.SweepSupervisor`
+wraps this module's cell model (the same payload serialization, executed
+by :func:`execute_payload`) with checkpointing, per-worker timeouts, and
+bounded retries.
 """
 
 import multiprocessing
@@ -27,12 +34,22 @@ def resolve_jobs(jobs):
     return max(1, jobs)
 
 
-def _worker(payload):
-    """Pool worker: (spec dict, trace path) in, dict out (separate process)."""
+def execute_payload(spec_data, trace_path=None):
+    """Run one serialized cell: spec dict in, result dict out.
+
+    The worker-side half of the process-boundary round trip, shared by
+    the pool worker below and the supervisor's isolated cell workers.
+    Imports the engine lazily so forking/spawning a worker stays cheap.
+    """
     from repro.sim.runner import execute  # late: keep fork/spawn cheap
-    spec_data, trace_path = payload
     return execute(RunSpec.from_dict(spec_data),
                    trace_path=trace_path).to_dict()
+
+
+def _worker(payload):
+    """Pool worker: (spec dict, trace path) in, dict out (separate process)."""
+    spec_data, trace_path = payload
+    return execute_payload(spec_data, trace_path)
 
 
 def trace_path_for(trace_dir, spec):

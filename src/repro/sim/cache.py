@@ -8,15 +8,23 @@ with the package version, so a cached result is returned only for an
 The default cache directory is ``.repro-cache`` under the current working
 directory; override it with the ``cache_dir`` argument or the
 ``REPRO_CACHE_DIR`` environment variable.  Entries are written atomically
-(temp file + rename), and unreadable or corrupt entries behave as misses.
+(temp file + rename).  A *missing* entry is a plain miss; an entry that
+exists but cannot be parsed (truncated write, disk corruption, an
+injected ``corrupt`` fault) is **quarantined** — moved aside into
+``<cache_dir>/quarantine/`` with a logged warning — and then treated as
+a miss, so one bad file costs one recomputation instead of poisoning
+every later sweep or propagating an exception into the batch runner.
 """
 
 import json
+import logging
 import os
 import pathlib
 import tempfile
 
 from repro.sim.stats import SimStats
+
+log = logging.getLogger(__name__)
 
 #: Environment variable naming the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -24,10 +32,24 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Subdirectory (under the cache dir) where corrupt entries are parked.
+QUARANTINE_DIR = "quarantine"
 
-def _version_salt():
+
+def version_salt():
+    """The version string mixed into every entry digest.
+
+    Bumping ``repro.__version__`` changes the salt, which changes every
+    entry's file name — i.e. a whole-cache invalidation.  The sweep
+    supervisor keys its checkpoint journal with the same salt so stale
+    journals invalidate in lockstep.
+    """
     import repro  # late: repro's package init imports repro.sim
     return "repro-%s" % repro.__version__
+
+
+#: Backwards-compatible alias (pre-1.4 internal name).
+_version_salt = version_salt
 
 
 class ResultCache:
@@ -39,29 +61,62 @@ class ResultCache:
         self.cache_dir = pathlib.Path(cache_dir)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def path_for(self, spec):
         """The entry file a spec maps to (may not exist)."""
-        return self.cache_dir / ("%s.json" % spec.digest(_version_salt()))
+        return self.cache_dir / ("%s.json" % spec.digest(version_salt()))
 
     def get(self, spec):
-        """Return the cached SimStats for ``spec``, or None on a miss."""
+        """Return the cached SimStats for ``spec``, or None on a miss.
+
+        A present-but-unparseable entry is quarantined (see
+        :meth:`_quarantine`) and reported as a miss, so the caller simply
+        recomputes — corruption never propagates as an exception.
+        """
         path = self.path_for(spec)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
             stats = SimStats.from_dict(payload["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return stats
 
+    def _quarantine(self, path, exc):
+        """Move a corrupt entry into ``quarantine/`` and log it.
+
+        The file is preserved (not deleted) so the corruption can be
+        inspected post-mortem; if even the move fails the entry is
+        unlinked as a last resort so it cannot shadow a fresh write.
+        """
+        self.quarantined += 1
+        log.warning("quarantining corrupt cache entry %s (%s: %s); "
+                    "the result will be recomputed",
+                    path.name, type(exc).__name__, exc)
+        target = self.cache_dir / QUARANTINE_DIR / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(str(path), str(target))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def put(self, spec, stats):
         """Store one result.  Atomic: readers never see partial entries."""
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         payload = {
-            "version": _version_salt(),
+            "version": version_salt(),
             "spec": spec.to_dict(),
             "stats": stats.to_dict(),
         }
@@ -93,6 +148,8 @@ class ResultCache:
                 pass
 
     def __repr__(self):
-        return "ResultCache(%r, %d entries, %d hits, %d misses)" % (
-            str(self.cache_dir), len(self), self.hits, self.misses,
-        )
+        return ("ResultCache(%r, %d entries, %d hits, %d misses, "
+                "%d quarantined)" % (
+                    str(self.cache_dir), len(self), self.hits, self.misses,
+                    self.quarantined,
+                ))

@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the resilient sweep supervisor.
+
+The recovery paths in :mod:`repro.sim.supervisor` — retry after a worker
+crash, kill-and-retry after a hang, quarantine-and-recompute after cache
+corruption — are only trustworthy if they are *exercised*, so this module
+lets a test (or CI) force every failure mode on demand, deterministically.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` entries.  Each rule
+names a fault ``kind``, a glob ``match`` over the run's label
+(``spec.label()``, e.g. ``"vpr/grp"``), and which ``attempts`` it fires
+on (0-based), so "crash the first two attempts of this cell, then let it
+succeed" is a three-line JSON document.  Rules may instead carry a
+``rate``: the decision is then a pure hash of ``(seed, label, attempt)``
+— random-looking but exactly reproducible, with no RNG state to leak
+between processes.
+
+Fault kinds:
+
+``crash``
+    the worker process SIGKILLs itself — an unclean death with no error
+    message, exactly what OOM killers and segfaults look like from the
+    supervisor's side;
+``error``
+    the worker raises :class:`FaultInjected` — the clean in-process
+    failure path (bad input, assertion, bug);
+``hang``
+    the worker sleeps ``seconds`` before doing any work, so a configured
+    per-worker timeout is the only way the sweep makes progress;
+``corrupt``
+    the *supervisor* truncates the cell's result-cache entry right after
+    writing it, so the next read of that entry must take
+    :class:`~repro.sim.cache.ResultCache`'s quarantine path.
+
+Plans are env-gated: ``REPRO_FAULT_PLAN`` holds either inline JSON
+(``{"faults": [...]}``) or the path of a JSON file.  Workers never read
+the environment themselves — the supervisor ships the plan inside each
+worker payload, so the decision is identical under any multiprocessing
+start method.
+"""
+
+import fnmatch
+import hashlib
+import json
+import os
+import signal
+import time
+
+#: Environment variable carrying a fault plan: inline JSON or a file path.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Every fault kind a rule may name.
+FAULT_KINDS = ("crash", "error", "hang", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """The exception an ``error`` fault raises inside a worker."""
+
+
+class FaultRule:
+    """One fault: kind + label match + when (attempt list or hash rate)."""
+
+    def __init__(self, kind, match="*", attempts=(0,), rate=None, seed=0,
+                 seconds=3600.0):
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                "unknown fault kind %r (have: %s)"
+                % (kind, ", ".join(FAULT_KINDS)))
+        self.kind = kind
+        self.match = match
+        self.attempts = tuple(attempts)
+        self.rate = rate
+        self.seed = seed
+        self.seconds = seconds
+
+    # ------------------------------------------------------------------
+    def applies(self, label, attempt):
+        """Does this rule fire for (label, attempt)?  Pure + deterministic."""
+        if not fnmatch.fnmatchcase(label, self.match):
+            return False
+        if self.rate is not None:
+            digest = hashlib.sha256(
+                ("%s|%s|%d" % (self.seed, label, attempt)).encode("utf-8")
+            ).hexdigest()
+            return int(digest[:8], 16) / float(0xFFFFFFFF) < self.rate
+        return attempt in self.attempts
+
+    def to_dict(self):
+        """Plain-data form (the JSON the env var / payload carries)."""
+        out = {"kind": self.kind, "match": self.match,
+               "attempts": list(self.attempts)}
+        if self.rate is not None:
+            out["rate"] = self.rate
+            out["seed"] = self.seed
+        if self.kind == "hang":
+            out["seconds"] = self.seconds
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict` (unknown keys rejected loudly)."""
+        known = {"kind", "match", "attempts", "rate", "seed", "seconds"}
+        extra = set(data) - known
+        if extra:
+            raise ValueError("unknown fault-rule keys: %s"
+                             % ", ".join(sorted(extra)))
+        return cls(
+            data["kind"],
+            match=data.get("match", "*"),
+            attempts=tuple(data.get("attempts", (0,))),
+            rate=data.get("rate"),
+            seed=data.get("seed", 0),
+            seconds=data.get("seconds", 3600.0),
+        )
+
+    def __repr__(self):
+        return "FaultRule(%s, match=%r, attempts=%r, rate=%r)" % (
+            self.kind, self.match, self.attempts, self.rate)
+
+
+class FaultPlan:
+    """A deterministic set of :class:`FaultRule` entries."""
+
+    def __init__(self, rules=()):
+        self.rules = list(rules)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_dict(cls, data):
+        """Build from ``{"faults": [rule, ...]}`` (or a bare rule list)."""
+        if isinstance(data, dict):
+            data = data.get("faults", [])
+        return cls([FaultRule.from_dict(entry) for entry in data])
+
+    def to_dict(self):
+        """Plain-data form, the inverse of :meth:`from_dict`."""
+        return {"faults": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_env(cls, environ=None):
+        """The plan ``$REPRO_FAULT_PLAN`` names, or None when unset.
+
+        The value is inline JSON when it starts with ``{`` or ``[``,
+        otherwise the path of a JSON file.
+        """
+        value = (environ or os.environ).get(FAULT_PLAN_ENV, "").strip()
+        if not value:
+            return None
+        if value[0] in "{[":
+            return cls.from_dict(json.loads(value))
+        with open(value) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- decisions -----------------------------------------------------
+    def _firing(self, label, attempt, kinds):
+        return [rule for rule in self.rules
+                if rule.kind in kinds and rule.applies(label, attempt)]
+
+    def inject(self, label, attempt):
+        """Apply worker-side faults for this (label, attempt), if any.
+
+        Called at the top of every supervised worker attempt.  ``hang``
+        sleeps first (so a configured timeout kills the worker), then
+        ``crash`` SIGKILLs the process, then ``error`` raises — a rule
+        set stacking several kinds applies them in that order.
+        """
+        for rule in self._firing(label, attempt, ("hang",)):
+            time.sleep(rule.seconds)
+        if self._firing(label, attempt, ("crash",)):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._firing(label, attempt, ("error",)):
+            raise FaultInjected(
+                "injected error fault for %s attempt %d" % (label, attempt))
+
+    def corrupts(self, label):
+        """Should the supervisor corrupt this cell's cache entry?"""
+        return bool(self._firing(label, 0, ("corrupt",)))
+
+    def __len__(self):
+        return len(self.rules)
+
+    def __repr__(self):
+        return "FaultPlan(%r)" % (self.rules,)
+
+
+def corrupt_file(path):
+    """Overwrite ``path`` with a truncated-JSON payload (corrupt fault).
+
+    The content mimics a write cut off mid-entry — valid UTF-8, invalid
+    JSON — which is what a full disk or a killed writer leaves behind
+    when atomic replacement is bypassed.
+    """
+    with open(path, "w") as handle:
+        handle.write('{"version": "truncated-by-fault-injection", "sta')

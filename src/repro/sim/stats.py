@@ -33,6 +33,9 @@ class SimStats:
     persistent result cache).
     """
 
+    #: Successful result (RunFailure slots carry ``ok = False``).
+    ok = True
+
     def __init__(self, workload, scheme, core, hierarchy):
         self.workload = workload
         self.scheme = scheme
@@ -157,6 +160,7 @@ class SimStats:
         return {
             "workload": self.workload,
             "scheme": self.scheme,
+            "status": "ok",
             "instructions": self.instructions,
             "cycles": self.cycles,
             "ipc": self.ipc,
@@ -184,6 +188,83 @@ class SimStats:
 #: The run pipeline's name for a run's outcome.  ``execute(spec)`` returns
 #: a RunResult; SimStats is the concrete type.
 RunResult = SimStats
+
+
+class RunFailure:
+    """Structured record of a run that failed permanently.
+
+    The resilient sweep supervisor degrades gracefully: a cell that
+    exhausts its retry budget still occupies its RunResult slot, as a
+    RunFailure instead of a :class:`SimStats`, so a sweep completes and
+    its tables render the surviving cells.  Callers distinguish the two
+    with the ``ok`` attribute; like SimStats, a failure round-trips
+    through JSON (:meth:`to_dict` carries a ``"failed": True`` marker —
+    see :func:`result_from_dict`) and renders a CSV row under the stable
+    export schema with a ``failed:<kind>`` status.
+    """
+
+    ok = False
+
+    def __init__(self, workload, scheme, label=None, kind="error",
+                 error="", attempts=0):
+        self.workload = workload
+        self.scheme = scheme
+        self.label = label or "%s/%s" % (workload, scheme)
+        #: Failure mode: ``crash`` (worker died), ``timeout`` (killed at
+        #: the per-worker deadline), ``error`` (worker raised), or
+        #: ``aborted`` (sweep hit its failure budget mid-flight).
+        self.kind = kind
+        self.error = error
+        self.attempts = attempts
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """Plain-data form; the ``failed`` key marks it as a failure."""
+        return {
+            "failed": True,
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "label": self.label,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            label=data.get("label"),
+            kind=data.get("kind", "error"),
+            error=data.get("error", ""),
+            attempts=data.get("attempts", 0),
+        )
+
+    def summary(self):
+        """Identification + status only; metric columns stay blank."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "status": "failed:%s" % self.kind,
+        }
+
+    def __repr__(self):
+        return "RunFailure(%s %s after %d attempt(s): %s)" % (
+            self.label, self.kind, self.attempts, self.error or "-")
+
+
+def result_from_dict(data):
+    """Rehydrate a serialized RunResult slot: SimStats or RunFailure.
+
+    The inverse of ``result.to_dict()`` for both concrete types — exports
+    and the supervisor's checkpoint journal dispatch on the ``failed``
+    marker :meth:`RunFailure.to_dict` plants.
+    """
+    if data.get("failed"):
+        return RunFailure.from_dict(data)
+    return SimStats.from_dict(data)
 
 
 def geometric_mean(values):

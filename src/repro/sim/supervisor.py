@@ -1,0 +1,406 @@
+"""Resilient sweep execution: checkpointing, timeouts, retries.
+
+:func:`~repro.sim.batch.run_batch` treats every worker as infallible —
+one crashed or hung worker loses the whole matrix.  The
+:class:`SweepSupervisor` runs the same cells with failure isolation:
+
+* **one process per cell attempt** — a worker that segfaults, is
+  OOM-killed, or hangs takes down only its own cell;
+* **per-worker timeouts** — a hung worker is killed at the deadline and
+  the attempt counts as a failure;
+* **bounded retries with exponential backoff** — transient failures
+  (flaky I/O, injected faults) are retried up to ``retries`` times,
+  waiting ``retry_base * 2**attempt`` (capped at ``retry_cap``) between
+  attempts;
+* **a checkpoint journal** — every cell-state transition
+  (running / retry / done / failed) is appended to a JSONL file as it
+  happens, so a sweep interrupted by ``kill -9``, OOM, or Ctrl-C resumes
+  from the journal with ``resume=True`` and re-runs only unfinished
+  cells (``done`` entries carry the full serialized result, so resume
+  works even with no result cache);
+* **a failure budget** — a cell that exhausts its retries degrades
+  gracefully into a structured :class:`~repro.sim.stats.RunFailure` in
+  its RunResult slot; when more than ``max_failures`` cells fail
+  permanently the sweep aborts with :class:`SweepAborted`.
+
+Results return in input order, exactly like ``run_batch``, and the
+engine's determinism contract means a resumed sweep's results are
+byte-identical to an uninterrupted one (CI enforces this with
+``tools/check_resilience.py``).  Recovery paths are exercised
+deterministically via :mod:`repro.sim.faults` (``REPRO_FAULT_PLAN``).
+"""
+
+import heapq
+import json
+import os
+import time
+from collections import deque
+from multiprocessing import connection as mpconnection
+import multiprocessing
+
+from repro.sim.batch import execute_payload, resolve_jobs, trace_path_for
+from repro.sim.cache import version_salt
+from repro.sim.faults import FaultPlan, corrupt_file
+from repro.sim.stats import RunFailure, SimStats
+
+#: How long the supervisor waits on worker pipes per scheduling pass.
+POLL_INTERVAL = 0.05
+
+
+class SweepAborted(RuntimeError):
+    """Raised when permanent failures exceed the sweep's budget.
+
+    Carries the permanent failures so far in ``failures``; the checkpoint
+    journal still holds every completed cell, so a fixed-up sweep can
+    ``resume`` without repeating them.
+    """
+
+    def __init__(self, message, failures=()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+def _cell_worker(conn, payload):
+    """Isolated worker: run one cell attempt, ship the result dict back.
+
+    Runs in its own process; ``payload`` carries the serialized spec,
+    the trace path, the attempt index, and (when fault injection is on)
+    the serialized fault plan.  Sends ``("ok", stats_dict)`` or
+    ``("error", message)`` over the pipe; an unclean death (crash fault,
+    real segfault, OOM kill) sends nothing — the supervisor sees EOF.
+    """
+    try:
+        plan_data = payload.get("faults")
+        if plan_data:
+            FaultPlan.from_dict(plan_data).inject(
+                payload["label"], payload["attempt"])
+        data = execute_payload(payload["spec"], payload.get("trace_path"))
+        conn.send(("ok", data))
+    except BaseException as exc:  # ship *any* failure back, then die
+        try:
+            conn.send(("error", "%s: %s" % (type(exc).__name__, exc)))
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+class Checkpoint:
+    """Append-only JSONL journal of per-cell sweep state.
+
+    One record per state transition, flushed immediately so the journal
+    is current the instant the parent dies.  ``load`` keeps the *latest*
+    record per cell digest and tolerates a torn final line (the one
+    artifact a ``kill -9`` mid-write can leave).
+    """
+
+    def __init__(self, path, fresh=False):
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(self.path, "w" if fresh else "a")
+
+    def record(self, kind, **fields):
+        """Append one journal record and flush it to the OS."""
+        fields["kind"] = kind
+        fields["t"] = time.time()
+        self._handle.write(json.dumps(fields, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        """Close the underlying file handle."""
+        self._handle.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(path):
+        """Parse a journal into {cell digest: latest record}.
+
+        Unparseable lines (torn tail) and records without a digest (the
+        sweep header) are skipped; later records override earlier ones,
+        so a cell that was ``running`` when the parent died — and
+        therefore never reached ``done`` — correctly reads as unfinished.
+        """
+        cells = {}
+        try:
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn write; everything before it stands
+                    digest = record.get("digest")
+                    if digest:
+                        cells[digest] = record
+        except OSError:
+            return {}
+        return cells
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+
+class _InFlight:
+    """Bookkeeping for one running cell attempt."""
+
+    def __init__(self, process, conn, deadline):
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+
+class SweepSupervisor:
+    """Checkpointed, fault-tolerant executor for a list of RunSpecs.
+
+    Parameters mirror :func:`~repro.sim.batch.run_batch` (``jobs``,
+    ``cache``, ``progress``, ``trace_dir``) plus the resilience knobs:
+    ``checkpoint`` (journal path; None disables journaling), ``resume``
+    (reuse an existing journal's ``done`` cells; failed and in-flight
+    cells re-run with a fresh retry budget), ``retries`` (extra attempts
+    per cell), ``timeout`` (seconds per attempt; None = unbounded),
+    ``max_failures`` (permanently failed cells tolerated before
+    :class:`SweepAborted`; None = unlimited), ``retry_base`` /
+    ``retry_cap`` (exponential backoff bounds, seconds), ``fault_plan``
+    (a :class:`~repro.sim.faults.FaultPlan`; defaults to the env-gated
+    ``$REPRO_FAULT_PLAN``), and ``trace_path_fn`` (overrides the
+    per-spec trace file mapping when ``trace_dir`` alone is too rigid).
+    """
+
+    def __init__(self, specs, jobs=1, cache=None, progress=None,
+                 trace_dir=None, checkpoint=None, resume=False, retries=2,
+                 timeout=None, max_failures=None, retry_base=0.5,
+                 retry_cap=30.0, fault_plan=None, trace_path_fn=None):
+        self.specs = list(specs)
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.trace_dir = trace_dir
+        self.checkpoint_path = checkpoint
+        self.resume = resume
+        self.retries = max(0, retries)
+        self.timeout = timeout
+        self.max_failures = max_failures
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.fault_plan = (fault_plan if fault_plan is not None
+                           else FaultPlan.from_env())
+        self.trace_path_fn = trace_path_fn
+        #: Permanent RunFailure records from the last :meth:`run`.
+        self.failures = []
+
+    # ------------------------------------------------------------------
+    def _trace_path(self, spec):
+        if self.trace_path_fn is not None:
+            return self.trace_path_fn(spec)
+        if self.trace_dir is None:
+            return None
+        return trace_path_for(self.trace_dir, spec)
+
+    def _backoff(self, attempt):
+        """Delay before retry number ``attempt`` (1-based), in seconds."""
+        if self.retry_base <= 0:
+            return 0.0
+        return min(self.retry_cap, self.retry_base * (2 ** (attempt - 1)))
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute the sweep; return results aligned with the input order.
+
+        Each slot holds a :class:`~repro.sim.stats.SimStats` or, for a
+        cell that failed permanently, a
+        :class:`~repro.sim.stats.RunFailure`.
+        """
+        specs = list(self.specs)
+        uniques = list(dict.fromkeys(specs))
+        total = len(uniques)
+        salt = version_salt()
+        digests = {spec: spec.digest(salt) for spec in uniques}
+
+        journal = {}
+        ckpt = None
+        if self.checkpoint_path is not None:
+            if self.resume:
+                journal = Checkpoint.load(self.checkpoint_path)
+            ckpt = Checkpoint(self.checkpoint_path, fresh=not self.resume)
+            ckpt.record("sweep", total=total, resumed=bool(journal))
+
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+
+        done_count = 0
+        resolved = {}
+        self.failures = []
+
+        def note(spec, cached):
+            nonlocal done_count
+            done_count += 1
+            if self.progress is not None:
+                self.progress(done_count, total, spec, cached)
+
+        # -- resolve journal + cache hits up front ---------------------
+        pending = []
+        for spec in uniques:
+            entry = journal.get(digests[spec])
+            if entry and entry.get("state") == "done" and "stats" in entry:
+                resolved[spec] = SimStats.from_dict(entry["stats"])
+                note(spec, True)
+                continue
+            if self.cache is not None and self._trace_path(spec) is None:
+                stats = self.cache.get(spec)
+                if stats is not None:
+                    resolved[spec] = stats
+                    if ckpt:
+                        ckpt.record("cell", state="done",
+                                    digest=digests[spec],
+                                    label=spec.label(), attempts=0,
+                                    cached=True, stats=stats.to_dict())
+                    note(spec, True)
+                    continue
+            pending.append(spec)
+
+        attempts = {spec: 0 for spec in pending}
+        ready = deque(pending)
+        waiting = []  # heap of (not_before, seq, spec)
+        seq = 0
+        in_flight = {}
+        workers = resolve_jobs(self.jobs)
+        ctx = multiprocessing.get_context()
+
+        def launch(spec):
+            attempt = attempts[spec]
+            if ckpt:
+                ckpt.record("cell", state="running", digest=digests[spec],
+                            label=spec.label(), attempt=attempt)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            payload = {
+                "spec": spec.to_dict(),
+                "trace_path": self._trace_path(spec),
+                "attempt": attempt,
+                "label": spec.label(),
+            }
+            if self.fault_plan is not None and len(self.fault_plan):
+                payload["faults"] = self.fault_plan.to_dict()
+            process = ctx.Process(target=_cell_worker,
+                                  args=(child_conn, payload), daemon=True)
+            process.start()
+            child_conn.close()
+            deadline = (time.monotonic() + self.timeout
+                        if self.timeout is not None else None)
+            in_flight[spec] = _InFlight(process, parent_conn, deadline)
+
+        def complete(spec, stats):
+            if self.cache is not None:
+                self.cache.put(spec, stats)
+                if (self.fault_plan is not None
+                        and self.fault_plan.corrupts(spec.label())):
+                    corrupt_file(str(self.cache.path_for(spec)))
+            resolved[spec] = stats
+            if ckpt:
+                ckpt.record("cell", state="done", digest=digests[spec],
+                            label=spec.label(), attempts=attempts[spec] + 1,
+                            stats=stats.to_dict())
+            note(spec, False)
+
+        def attempt_failed(spec, kind, error):
+            nonlocal seq
+            attempts[spec] += 1
+            if attempts[spec] <= self.retries:
+                delay = self._backoff(attempts[spec])
+                if ckpt:
+                    ckpt.record("cell", state="retry", digest=digests[spec],
+                                label=spec.label(), attempt=attempts[spec],
+                                fail_kind=kind, error=error, delay=delay)
+                seq += 1
+                heapq.heappush(waiting,
+                               (time.monotonic() + delay, seq, spec))
+                return
+            failure = RunFailure(spec.workload, spec.scheme,
+                                 label=spec.label(), kind=kind, error=error,
+                                 attempts=attempts[spec])
+            resolved[spec] = failure
+            self.failures.append(failure)
+            if ckpt:
+                ckpt.record("cell", state="failed", digest=digests[spec],
+                            label=spec.label(), failure=failure.to_dict())
+            note(spec, False)
+            if (self.max_failures is not None
+                    and len(self.failures) > self.max_failures):
+                self._abort(ckpt)
+
+        # -- scheduling loop -------------------------------------------
+        try:
+            while ready or waiting or in_flight:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    ready.append(heapq.heappop(waiting)[2])
+                while ready and len(in_flight) < workers:
+                    launch(ready.popleft())
+                if not in_flight:
+                    if waiting:
+                        time.sleep(
+                            min(POLL_INTERVAL,
+                                max(0.0, waiting[0][0] - time.monotonic())))
+                    continue
+
+                conns = [cell.conn for cell in in_flight.values()]
+                readable = mpconnection.wait(conns, timeout=POLL_INTERVAL)
+                for spec, cell in list(in_flight.items()):
+                    if cell.conn in readable:
+                        try:
+                            message = cell.conn.recv()
+                        except (EOFError, OSError):
+                            message = None
+                        cell.process.join()
+                        cell.conn.close()
+                        del in_flight[spec]
+                        if message is not None and message[0] == "ok":
+                            complete(spec, SimStats.from_dict(message[1]))
+                        elif message is not None:
+                            attempt_failed(spec, "error", message[1])
+                        else:
+                            attempt_failed(
+                                spec, "crash",
+                                "worker died without a result (exit code "
+                                "%s)" % cell.process.exitcode)
+                    elif (cell.deadline is not None
+                          and time.monotonic() > cell.deadline):
+                        cell.process.kill()
+                        cell.process.join()
+                        cell.conn.close()
+                        del in_flight[spec]
+                        attempt_failed(
+                            spec, "timeout",
+                            "worker exceeded the %.1fs timeout"
+                            % self.timeout)
+        finally:
+            for cell in in_flight.values():
+                cell.process.kill()
+                cell.process.join()
+                cell.conn.close()
+            if ckpt:
+                ckpt.close()
+
+        return [resolved[spec] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _abort(self, ckpt):
+        if ckpt:
+            ckpt.record("abort", failures=len(self.failures),
+                        budget=self.max_failures)
+        labels = ", ".join(f.label for f in self.failures)
+        raise SweepAborted(
+            "sweep aborted: %d cell(s) failed permanently (budget %d): %s"
+            % (len(self.failures), self.max_failures, labels),
+            failures=self.failures)

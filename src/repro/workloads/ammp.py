@@ -28,6 +28,8 @@ from repro.workloads.common import build_linked_list
 
 @register
 class Ammp(Workload):
+    """Synthetic stand-in for 188.ammp — molecular dynamics (C, FP)."""
+
     name = "ammp"
     category = "fp"
     language = "c"

@@ -25,6 +25,8 @@ from repro.workloads.common import materialize
 
 @register
 class Applu(Workload):
+    """Synthetic stand-in for 173.applu — SSOR CFD solver (Fortran, FP)."""
+
     name = "applu"
     category = "fp"
     language = "fortran"

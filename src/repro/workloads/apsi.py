@@ -22,6 +22,8 @@ from repro.workloads.common import materialize
 
 @register
 class Apsi(Workload):
+    """Synthetic stand-in for 301.apsi — mesoscale weather model (Fortran, FP)."""
+
     name = "apsi"
     category = "fp"
     language = "fortran"

@@ -26,6 +26,8 @@ from repro.workloads.common import build_pointer_rows, materialize
 
 @register
 class Art(Workload):
+    """Synthetic stand-in for 179.art — Adaptive Resonance Theory neural net (C, FP)."""
+
     name = "art"
     category = "fp"
     language = "c"

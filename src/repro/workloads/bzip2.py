@@ -29,6 +29,8 @@ from repro.workloads.common import materialize, store_index_array
 
 @register
 class Bzip2(Workload):
+    """Synthetic stand-in for 256.bzip2 — block-sorting compression (C, integer)."""
+
     name = "bzip2"
     category = "int"
     language = "c"

@@ -26,6 +26,8 @@ from repro.workloads.common import materialize
 
 @register
 class Crafty(Workload):
+    """Synthetic stand-in for 186.crafty — chess (C, integer)."""
+
     name = "crafty"
     category = "int"
     language = "c"

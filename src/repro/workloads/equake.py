@@ -29,6 +29,8 @@ from repro.workloads.common import build_pointer_rows, materialize
 
 @register
 class Equake(Workload):
+    """Synthetic stand-in for 183.equake — earthquake simulation (C, FP)."""
+
     name = "equake"
     category = "fp"
     language = "c"

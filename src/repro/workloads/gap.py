@@ -25,6 +25,8 @@ from repro.workloads.common import build_pointer_rows, materialize
 
 @register
 class Gap(Workload):
+    """Synthetic stand-in for 254.gap — computational group theory (C, integer)."""
+
     name = "gap"
     category = "int"
     language = "c"

@@ -30,6 +30,8 @@ from repro.workloads.common import materialize
 
 @register
 class Gzip(Workload):
+    """Synthetic stand-in for 164.gzip — LZ77 compression (C, integer)."""
+
     name = "gzip"
     category = "int"
     language = "c"

@@ -37,6 +37,8 @@ from repro.workloads.common import (
 
 @register
 class Mcf(Workload):
+    """Synthetic stand-in for 181.mcf — network simplex (C, integer, pointer-heavy)."""
+
     name = "mcf"
     category = "int"
     language = "c"

@@ -37,6 +37,8 @@ from repro.workloads.common import build_linked_list, materialize
 
 @register
 class Mesa(Workload):
+    """Synthetic stand-in for 177.mesa — software OpenGL (C, FP)."""
+
     name = "mesa"
     category = "fp"
     language = "c"

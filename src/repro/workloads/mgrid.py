@@ -23,6 +23,8 @@ from repro.workloads.common import materialize
 
 @register
 class Mgrid(Workload):
+    """Synthetic stand-in for 172.mgrid — multigrid solver (Fortran, FP)."""
+
     name = "mgrid"
     category = "fp"
     language = "fortran"

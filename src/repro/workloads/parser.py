@@ -38,6 +38,8 @@ from repro.workloads.common import (
 
 @register
 class Parser(Workload):
+    """Synthetic stand-in for 197.parser — link grammar parser (C, integer)."""
+
     name = "parser"
     category = "int"
     language = "c"

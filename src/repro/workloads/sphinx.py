@@ -37,6 +37,8 @@ from repro.workloads.common import build_linked_list, materialize
 
 @register
 class Sphinx(Workload):
+    """Synthetic stand-in for sphinx — speech recognition (Lee, Hon, Reddy)."""
+
     name = "sphinx"
     category = "int"
     language = "c"

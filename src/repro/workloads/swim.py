@@ -33,6 +33,8 @@ from repro.workloads.common import materialize
 
 @register
 class Swim(Workload):
+    """Synthetic stand-in for 171.swim — shallow-water stencil (Fortran, FP)."""
+
     name = "swim"
     category = "fp"
     language = "fortran"

@@ -31,6 +31,8 @@ from repro.workloads.common import build_linked_list, build_node_pointer_array
 
 @register
 class Twolf(Workload):
+    """Synthetic stand-in for 300.twolf — standard-cell place & route (C, integer)."""
+
     name = "twolf"
     category = "int"
     language = "c"

@@ -25,6 +25,8 @@ from repro.workloads.common import materialize, store_index_array
 
 @register
 class Vpr(Workload):
+    """Synthetic stand-in for 175.vpr — FPGA place & route (C, integer, indirect-heavy)."""
+
     name = "vpr"
     category = "int"
     language = "c"

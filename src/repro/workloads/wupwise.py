@@ -23,6 +23,8 @@ from repro.workloads.common import materialize
 
 @register
 class Wupwise(Workload):
+    """Synthetic stand-in for 168.wupwise — lattice QCD (Fortran, FP)."""
+
     name = "wupwise"
     category = "fp"
     language = "fortran"

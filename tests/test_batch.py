@@ -168,6 +168,46 @@ class TestPersistentCache:
         cache.path_for(spec).write_text("{not json")
         assert cache.get(spec) is None
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        stats = execute(spec)
+        cache.put(spec, stats)
+        cache.path_for(spec).write_text('{"version": "x", "sta')
+        with caplog.at_level("WARNING", logger="repro.sim.cache"):
+            assert cache.get(spec) is None
+        assert cache.quarantined == 1
+        assert "quarantin" in caplog.text
+        # The bad file moved aside (inspectable), not deleted...
+        parked = tmp_path / "quarantine" / cache.path_for(spec).name
+        assert parked.exists()
+        # ...and no longer counts as, or shadows, a live entry.
+        assert len(cache) == 0
+        cache.put(spec, stats)
+        assert cache.get(spec).to_dict() == stats.to_dict()
+
+    def test_truncated_json_payload_is_quarantined(self, tmp_path):
+        # Valid JSON but not a result payload ("stats" missing) — the
+        # KeyError path must quarantine too, not propagate.
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        cache.put(spec, execute(spec))
+        cache.path_for(spec).write_text('{"version": "repro-x"}')
+        assert cache.get(spec) is None
+        assert cache.quarantined == 1
+
+    def test_quarantine_survives_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        cache.put(spec, execute(spec))
+        cache.path_for(spec).write_text("garbage")
+        cache.get(spec)
+        cache.put(spec, execute(spec))
+        cache.clear()
+        assert len(cache) == 0
+        parked = tmp_path / "quarantine" / cache.path_for(spec).name
+        assert parked.exists(), "clear() must not touch quarantined files"
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(SPECS[0], execute(SPECS[0]))

@@ -140,3 +140,44 @@ class TestExperimentsRunSmall:
             "conservative", "default", "aggressive"]
         detail = sensitivity.run_per_benchmark(ctx, benchmarks=SMALL)
         assert len(detail.rows) == len(SMALL)
+
+
+class TestPartialResults:
+    """A resilient context degrades tables gracefully when cells fail."""
+
+    @pytest.fixture(scope="class")
+    def broken_ctx(self):
+        from repro.sim.faults import FaultPlan, FaultRule
+        # vpr/grp fails on every attempt; everything else succeeds.
+        plan = FaultPlan([FaultRule("error", match="vpr/grp",
+                                    attempts=(0, 1, 2, 3))])
+        return ExperimentContext(limit_refs=3000, retries=1,
+                                 fault_plan=plan)
+
+    def test_ratio_helpers_return_none_for_failed_cells(self, broken_ctx):
+        assert broken_ctx.speedup("vpr", "grp") is None
+        assert broken_ctx.traffic_ratio("vpr", "grp") is None
+        assert broken_ctx.coverage("vpr", "grp") is None
+        assert broken_ctx.speedup("vpr", "srp") is not None
+        assert [f.label for f in broken_ctx.failures] == ["vpr/grp"]
+
+    def test_geomeans_skip_failed_cells(self, broken_ctx):
+        with_failure = broken_ctx.geomean_speedup("grp", SMALL)
+        without = broken_ctx.geomean_speedup("grp", ["swim", "mcf"])
+        assert with_failure == pytest.approx(without)
+
+    def test_tables_render_partial_with_footnote(self, broken_ctx):
+        result = fig12.run(broken_ctx, benchmarks=SMALL)
+        vpr_row = result.row_by_key("vpr")
+        assert vpr_row[3] is None and vpr_row[1] is not None
+        assert "vpr/grp" in result.notes
+        assert "n/a" in result.render()
+        # Row-skipping tables drop the bench and note it instead.
+        t5 = table5.run(broken_ctx, benchmarks=SMALL)
+        assert "vpr" not in {row[0] for row in t5.rows}
+        assert "vpr/grp" in t5.notes
+
+    def test_table1_geomeans_survive(self, broken_ctx):
+        result = table1.run(broken_ctx, benchmarks=SMALL)
+        assert len(result.rows) == 5
+        assert "vpr/grp" in result.notes

@@ -1,0 +1,265 @@
+"""Tests for the resilient sweep supervisor: checkpoint/resume after a
+kill, deterministic fault injection with retry-and-backoff, the failure
+budget, and graceful degradation into RunFailure result slots."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.report.export import SUMMARY_COLUMNS, runs_from_json, \
+    runs_to_csv, runs_to_json
+from repro.sim.batch import run_batch
+from repro.sim.cache import ResultCache
+from repro.sim.faults import FAULT_PLAN_ENV, FaultInjected, FaultPlan, \
+    FaultRule
+from repro.sim.spec import RunSpec
+from repro.sim.stats import RunFailure, result_from_dict
+from repro.sim.supervisor import Checkpoint, SweepAborted, SweepSupervisor
+
+REFS = 2000
+
+SPECS = [
+    RunSpec.create("gzip", "none", limit_refs=REFS),
+    RunSpec.create("gzip", "stride", limit_refs=REFS),
+    RunSpec.create("swim", "none", limit_refs=REFS),
+    RunSpec.create("swim", "grp", limit_refs=REFS),
+]
+
+
+def dicts(results):
+    return [r.to_dict() for r in results]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_batch(SPECS, jobs=1)
+
+
+class TestSupervisorMatchesBatch:
+    def test_serial_supervised_equals_run_batch(self, baseline):
+        supervisor = SweepSupervisor(SPECS, jobs=1)
+        assert dicts(supervisor.run()) == dicts(baseline)
+        assert supervisor.failures == []
+
+    def test_parallel_with_checkpoint_equals_serial(self, baseline,
+                                                    tmp_path):
+        supervisor = SweepSupervisor(
+            SPECS, jobs=2, checkpoint=str(tmp_path / "sweep.ckpt"))
+        assert dicts(supervisor.run()) == dicts(baseline)
+
+    def test_duplicate_specs_resolve_once(self, baseline):
+        doubled = SPECS + SPECS[:2]
+        seen = []
+        supervisor = SweepSupervisor(
+            doubled, progress=lambda d, t, s, c: seen.append((d, t)))
+        results = supervisor.run()
+        assert dicts(results[:len(SPECS)]) == dicts(baseline)
+        assert dicts(results[len(SPECS):]) == dicts(baseline[:2])
+        assert seen[-1] == (len(SPECS), len(SPECS))  # uniques only
+
+    def test_cache_hits_are_journaled(self, baseline, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_batch(SPECS, jobs=1, cache=cache)
+        ckpt = str(tmp_path / "sweep.ckpt")
+        flags = []
+        SweepSupervisor(SPECS, cache=cache, checkpoint=ckpt,
+                        progress=lambda d, t, s, c: flags.append(c)).run()
+        assert all(flags), "everything should come from the cache"
+        # ...and the journal alone can now resurrect the whole sweep.
+        resumed = SweepSupervisor(SPECS, cache=None, checkpoint=ckpt,
+                                  resume=True)
+        assert dicts(resumed.run()) == dicts(baseline)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_done_cells(self, baseline, tmp_path):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        SweepSupervisor(SPECS[:2], checkpoint=ckpt).run()
+        cached_flags = {}
+        supervisor = SweepSupervisor(
+            SPECS, checkpoint=ckpt, resume=True,
+            progress=lambda d, t, s, c: cached_flags.setdefault(s, c))
+        assert dicts(supervisor.run()) == dicts(baseline)
+        assert cached_flags[SPECS[0]] and cached_flags[SPECS[1]]
+        assert not cached_flags[SPECS[2]] and not cached_flags[SPECS[3]]
+
+    def test_resume_after_parent_sigkill(self, baseline, tmp_path):
+        # A subprocess supervises the sweep serially and SIGKILLs itself
+        # after two cells complete; the journal must carry those cells.
+        ckpt = str(tmp_path / "sweep.ckpt")
+        driver = (
+            "import os, signal\n"
+            "from repro.sim.spec import RunSpec\n"
+            "from repro.sim.supervisor import SweepSupervisor\n"
+            "specs = [RunSpec.create(b, s, limit_refs=%d) for b, s in %r]\n"
+            "def die(done, total, spec, cached):\n"
+            "    if done >= 2:\n"
+            "        os.kill(os.getpid(), signal.SIGKILL)\n"
+            "SweepSupervisor(specs, jobs=1, checkpoint=%r,\n"
+            "                progress=die).run()\n"
+            % (REFS, [(s.workload, s.scheme) for s in SPECS], ckpt))
+        proc = subprocess.run(
+            [sys.executable, "-c", driver],
+            env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
+            capture_output=True, timeout=600)
+        assert proc.returncode == -signal.SIGKILL
+        done = [r for r in Checkpoint.load(ckpt).values()
+                if r.get("state") == "done"]
+        assert len(done) == 2
+        resumed = SweepSupervisor(SPECS, jobs=2, checkpoint=ckpt,
+                                  resume=True)
+        assert runs_to_csv(resumed.run()) == runs_to_csv(baseline)
+
+    def test_journal_tolerates_torn_tail(self, baseline, tmp_path):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        SweepSupervisor(SPECS, checkpoint=ckpt).run()
+        with open(ckpt, "a") as handle:
+            handle.write('{"kind": "cell", "digest": "abc", "sta')
+        resumed = SweepSupervisor(SPECS, checkpoint=ckpt, resume=True)
+        flags = []
+        resumed.progress = lambda d, t, s, c: flags.append(c)
+        assert dicts(resumed.run()) == dicts(baseline)
+        assert all(flags), "torn tail must not invalidate earlier records"
+
+    def test_fresh_run_truncates_stale_journal(self, tmp_path):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        SweepSupervisor(SPECS[:1], checkpoint=ckpt).run()
+        SweepSupervisor(SPECS[1:2], checkpoint=ckpt).run()  # no resume
+        states = Checkpoint.load(ckpt)
+        assert len(states) == 1, "non-resume runs start a fresh journal"
+
+
+class TestFaultRecovery:
+    def test_crash_then_succeed(self, baseline):
+        plan = FaultPlan([FaultRule("crash", match="gzip/stride",
+                                    attempts=(0,))])
+        supervisor = SweepSupervisor(SPECS, retries=1, retry_base=0.01,
+                                     fault_plan=plan)
+        assert dicts(supervisor.run()) == dicts(baseline)
+        assert supervisor.failures == []
+
+    def test_flaky_error_retries_until_success(self, baseline):
+        plan = FaultPlan([FaultRule("error", match="swim/*",
+                                    attempts=(0, 1))])
+        supervisor = SweepSupervisor(SPECS, retries=2, retry_base=0.01,
+                                     fault_plan=plan)
+        assert dicts(supervisor.run()) == dicts(baseline)
+
+    def test_hang_killed_at_timeout_then_retried(self, baseline):
+        plan = FaultPlan([FaultRule("hang", match="gzip/none",
+                                    attempts=(0,), seconds=60.0)])
+        supervisor = SweepSupervisor(SPECS, retries=1, retry_base=0.01,
+                                     timeout=1.0, fault_plan=plan)
+        assert dicts(supervisor.run()) == dicts(baseline)
+
+    def test_exhausted_retries_degrade_to_runfailure(self, baseline):
+        plan = FaultPlan([FaultRule("error", match="gzip/stride",
+                                    attempts=(0, 1, 2, 3))])
+        supervisor = SweepSupervisor(SPECS, retries=1, retry_base=0.01,
+                                     fault_plan=plan)
+        results = supervisor.run()
+        failure = results[1]
+        assert not failure.ok
+        assert failure.kind == "error"
+        assert failure.attempts == 2
+        assert "FaultInjected" in failure.error
+        assert [r.label for r in supervisor.failures] == ["gzip/stride"]
+        # Every other slot is untouched.
+        others = [results[0], results[2], results[3]]
+        assert dicts(others) == dicts(
+            [baseline[0], baseline[2], baseline[3]])
+
+    def test_failure_budget_aborts_sweep(self):
+        plan = FaultPlan([FaultRule("error", attempts=(0, 1))])
+        supervisor = SweepSupervisor(SPECS, retries=1, retry_base=0.01,
+                                     max_failures=0, fault_plan=plan)
+        with pytest.raises(SweepAborted) as excinfo:
+            supervisor.run()
+        assert excinfo.value.failures
+        assert excinfo.value.failures[0].kind == "error"
+
+    def test_corrupt_fault_reaches_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = SPECS[0]
+        plan = FaultPlan([FaultRule("corrupt", match=spec.label())])
+        SweepSupervisor([spec], cache=cache, fault_plan=plan).run()
+        assert cache.get(spec) is None
+        assert cache.quarantined == 1
+
+
+class TestFaultPlan:
+    def test_round_trip_and_env_inline(self):
+        plan = FaultPlan([FaultRule("crash", match="a/*", attempts=(0, 2)),
+                          FaultRule("error", rate=0.5, seed=7)])
+        rebuilt = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt.to_dict() == plan.to_dict()
+        env = {FAULT_PLAN_ENV: json.dumps(plan.to_dict())}
+        assert FaultPlan.from_env(env).to_dict() == plan.to_dict()
+        assert FaultPlan.from_env({}) is None
+
+    def test_env_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"faults": [{"kind": "error", "match": "x/*"}]}))
+        plan = FaultPlan.from_env({FAULT_PLAN_ENV: str(path)})
+        assert len(plan) == 1
+        assert plan.rules[0].kind == "error"
+
+    def test_attempt_matching(self):
+        rule = FaultRule("error", match="swim/*", attempts=(0, 2))
+        assert rule.applies("swim/grp", 0)
+        assert not rule.applies("swim/grp", 1)
+        assert rule.applies("swim/grp", 2)
+        assert not rule.applies("gzip/grp", 0)
+
+    def test_rate_is_deterministic_and_roughly_calibrated(self):
+        rule = FaultRule("crash", rate=0.3, seed=42)
+        decisions = [rule.applies("bench%d/grp" % i, 0)
+                     for i in range(400)]
+        assert decisions == [rule.applies("bench%d/grp" % i, 0)
+                             for i in range(400)]
+        assert 0.2 < sum(decisions) / 400.0 < 0.4
+
+    def test_unknown_kind_and_keys_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("explode")
+        with pytest.raises(ValueError):
+            FaultRule.from_dict({"kind": "crash", "when": "now"})
+
+    def test_inject_error(self):
+        plan = FaultPlan([FaultRule("error", match="a/b")])
+        with pytest.raises(FaultInjected):
+            plan.inject("a/b", 0)
+        plan.inject("other/cell", 0)  # no-op
+
+
+class TestGracefulExports:
+    def test_failure_csv_and_json_round_trip(self, baseline):
+        failure = RunFailure("gzip", "stride", kind="timeout",
+                             error="worker exceeded the 1.0s timeout",
+                             attempts=3)
+        mixed = [baseline[0], failure]
+        text = runs_to_csv(mixed)
+        header, ok_row, failed_row = text.strip().splitlines()
+        assert header.split(",") == list(SUMMARY_COLUMNS)
+        assert ok_row.endswith(",ok")
+        cells = failed_row.split(",")
+        assert cells[0] == "gzip" and cells[1] == "stride"
+        assert cells[-1] == "failed:timeout"
+        assert all(c == "" for c in cells[2:-1])
+
+        rebuilt = runs_from_json(runs_to_json(mixed))
+        assert rebuilt[0].ok and rebuilt[0].to_dict() == \
+            baseline[0].to_dict()
+        assert not rebuilt[1].ok
+        assert rebuilt[1].to_dict() == failure.to_dict()
+
+    def test_result_from_dict_dispatch(self, baseline):
+        assert result_from_dict(baseline[0].to_dict()).ok
+        assert not result_from_dict(
+            RunFailure("a", "b").to_dict()).ok
