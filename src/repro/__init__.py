@@ -6,6 +6,9 @@ Public API highlights:
   describe any (benchmark, scheme) run as frozen data and execute it.
 * :func:`repro.sim.runner.run_workload` — one-call convenience shim.
 * :func:`repro.sim.batch.run_batch` — fan RunSpecs across cores.
+* :class:`repro.sim.spec.CoRunSpec` /
+  :func:`repro.sim.multicore.execute_corun` — multi-core co-runs over a
+  shared L2/MSHR/DRAM with contention-aware per-core attribution.
 * :class:`repro.sim.supervisor.SweepSupervisor` — resilient sweeps with
   checkpoint/resume, timeouts, retries, and a failure budget.
 * :class:`repro.sim.cache.ResultCache` — persistent result cache.
@@ -21,16 +24,23 @@ from repro.sim.batch import run_batch
 from repro.sim.cache import ResultCache
 from repro.sim.config import MachineConfig
 from repro.sim.faults import FaultPlan
+from repro.sim.multicore import execute_corun
 from repro.sim.runner import SCHEMES, execute, run_workload
-from repro.sim.spec import RunSpec
-from repro.sim.stats import RunFailure, RunResult, SimStats, result_from_dict
+from repro.sim.spec import CoRunSpec, RunSpec
+from repro.sim.stats import (
+    CoRunResult,
+    RunFailure,
+    RunResult,
+    SimStats,
+    result_from_dict,
+)
 from repro.sim.supervisor import SweepAborted, SweepSupervisor
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
-    "FaultPlan", "MachineConfig", "ResultCache", "RunFailure", "RunResult",
-    "RunSpec", "SCHEMES", "SimStats", "SweepAborted", "SweepSupervisor",
-    "execute", "result_from_dict", "run_batch", "run_workload",
-    "__version__",
+    "CoRunResult", "CoRunSpec", "FaultPlan", "MachineConfig", "ResultCache",
+    "RunFailure", "RunResult", "RunSpec", "SCHEMES", "SimStats",
+    "SweepAborted", "SweepSupervisor", "execute", "execute_corun",
+    "result_from_dict", "run_batch", "run_workload", "__version__",
 ]

@@ -104,7 +104,14 @@ class FeedbackMonitor:
         Re-baselines the monitor as a side effect.
         """
         hierarchy = self.hierarchy
-        l2 = hierarchy.l2.stats
+        # Per-core view: inside a multi-core co-run each controller judges
+        # its own core's fills/pollution, not the whole shared L2.  The
+        # DRAM busy fraction deliberately stays shared-level — channel
+        # pressure from *other* cores is exactly the contention signal the
+        # throttle should back off from.  (Fall back to the raw shared
+        # stats for minimal hierarchy stand-ins without the view method.)
+        view = getattr(hierarchy, "l2_stats_view", None)
+        l2 = view() if view is not None else hierarchy.l2.stats
         metrics = hierarchy.metrics
         channel_busy = hierarchy.dram.channel_busy_cycles
         busy = 0.0

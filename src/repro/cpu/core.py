@@ -45,7 +45,7 @@ def _directive_event(kind, a, b, c):
 class Core:
     """Executes a trace event stream against a memory hierarchy."""
 
-    def __init__(self, config, hierarchy, hint_table=None):
+    def __init__(self, config, hierarchy, hint_table=None, core_id=0):
         self.hierarchy = hierarchy
         self.hint_table = hint_table
         self.window = config.window_size
@@ -55,6 +55,11 @@ class Core:
         self._clock = 0.0
         self.instructions = 0
         self.load_stall_cycles = 0.0
+        #: Identity within a multi-core co-run (0 when standalone); the
+        #: stepping loop uses it to select per-core attribution slices.
+        self.core_id = core_id
+        self._step_access = None
+        self._step_note = None
 
     # ------------------------------------------------------------------
     def _issue(self, latency):
@@ -373,6 +378,68 @@ class Core:
             self.instructions = instructions
             self.load_stall_cycles = load_stall
         return self.cycles
+
+    # ------------------------------------------------------------------
+    # Externally-driven stepping (the multi-core replay loop)
+    # ------------------------------------------------------------------
+    def begin_stepping(self):
+        """Bind the per-step call targets before external stepping.
+
+        :meth:`step` replays one event per call under an outer arbitration
+        loop (see :mod:`repro.sim.multicore`); binding the hierarchy's
+        ``access`` and the adaptive ``note_access`` hook once here mirrors
+        the hoisting :meth:`execute` does at loop entry, so a 1-core
+        stepped replay issues the identical operation sequence.
+        """
+        self._step_access = self.hierarchy.access
+        adapt = getattr(self.hierarchy, "adapt", None)
+        self._step_note = adapt.note_access if adapt is not None else None
+
+    def next_issue_at(self):
+        """Cycle at which this core's next instruction would issue.
+
+        ``max(clock, ring[head])`` — the same expression :meth:`execute`
+        computes for a memory reference's issue time; the multi-core
+        arbiter uses it to pick which core steps next.
+        """
+        issue_at = self._clock
+        earliest = self._ring[self._head]
+        if earliest > issue_at:
+            issue_at = earliest
+        return issue_at
+
+    def step(self, event):
+        """Replay one trace event; return True for a memory reference.
+
+        Replicates :meth:`execute`'s per-event body operation for
+        operation (the 1-core degenerate co-run is compared byte for byte
+        against ``execute``), with the caller owning the reference count
+        and termination.  :meth:`begin_stepping` must run first.
+        """
+        etype = event.__class__
+        if etype is MemRef:
+            table = self.hint_table
+            hint = table.get(event.ref_id) if table is not None else None
+            issue_at = max(self._clock, self._ring[self._head])
+            ready = self._step_access(
+                event.addr, issue_at,
+                is_store=event.is_store,
+                ref_id=event.ref_id, hint=hint,
+            )
+            latency = ready - issue_at
+            before = self._clock
+            self._issue(latency)
+            self.load_stall_cycles += max(
+                0.0, self._clock - before - self.inv_width)
+            if self._step_note is not None:
+                self._step_note(self._clock)
+            return True
+        if etype is Ops:
+            self._issue_ops(event.count)
+            return False
+        completion = self._issue(1.0)
+        self.hierarchy.directive(event, completion)
+        return False
 
     # ------------------------------------------------------------------
     @property

@@ -33,6 +33,7 @@ import time
 
 from repro.experiments import (
     adaptive,
+    corun,
     fig1,
     fig9,
     fig10_11,
@@ -70,11 +71,14 @@ RUNNERS = {
     "metrics": lambda ctx: [metrics_summary.run(ctx),
                             metrics_summary.run_deltas(ctx)],
     "adaptive": lambda ctx: [adaptive.run(ctx), adaptive.run_recovery(ctx)],
+    "corun": lambda ctx: [corun.run(ctx), corun.run_rush_hour(ctx),
+                          corun.run_recovery(ctx)],
 }
 
-#: Experiments that consume simulation runs (table3 only runs the
-#: compiler); selecting any of these warms the full matrix up-front.
-SIM_RUNNERS = frozenset(RUNNERS) - {"table3"}
+#: Experiments that consume the standard single-core simulation matrix
+#: (table3 only runs the compiler; corun builds its own CoRunSpec cells);
+#: selecting any of these warms the full matrix up-front.
+SIM_RUNNERS = frozenset(RUNNERS) - {"table3", "corun"}
 
 
 def _done_cells(checkpoint):

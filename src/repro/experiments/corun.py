@@ -1,0 +1,187 @@
+"""Multi-core co-run study: contention, fairness, and adaptive recovery.
+
+Beyond the paper (which evaluates GRP on a uniprocessor): the
+:mod:`repro.sim.multicore` substrate replays several benchmarks at once
+against a shared L2/MSHR/DRAM, so prefetch schemes can be compared under
+the bandwidth and capacity contention they would face on a CMP.  Three
+tables:
+
+* :func:`run` — every pair from a representative six-benchmark mix,
+  under {none, srp, grp, srp-adaptive}: per-core slowdown vs solo, the
+  Jain fairness index, and cross-core prefetch pollution.
+* :func:`run_rush_hour` — all 18 benchmarks on 18 cores at once, one row
+  per scheme: the worst-case bandwidth crunch.
+* :func:`run_recovery` — srp-adaptive vs static srp per pair: the
+  feedback throttle senses shared-channel pressure and backs off, so it
+  should contain co-run slowdown better than statically-aggressive SRP.
+
+Co-runs replay on the stepped reference loop (much slower per reference
+than the solo fast path), so this module caps trace length at
+:data:`CORUN_REFS` references per core regardless of ``--refs``.
+"""
+
+import itertools
+
+from repro.experiments.common import ALL_BENCHMARKS, ExperimentResult
+from repro.sim.spec import CoRunSpec
+from repro.sim.stats import geometric_mean
+
+#: Representative co-run mix: two pointer-chasing C codes (mcf, vpr), two
+#: streaming FP codes (swim, art), one cache-friendly integer code
+#: (gzip), and one irregular FP code (equake).
+CORUN_BENCHMARKS = ["gzip", "swim", "vpr", "art", "mcf", "equake"]
+
+#: Schemes the co-run tables compare.
+CORUN_SCHEMES = ["none", "srp", "grp", "srp-adaptive"]
+
+#: Per-core reference cap — co-runs step one reference at a time through
+#: the shared-memory arbiter, so they pay the slow loop on every core.
+CORUN_REFS = 5000
+
+
+def _refs(ctx):
+    """The co-run trace length: the context's, capped at CORUN_REFS."""
+    if ctx.limit_refs is None:
+        return CORUN_REFS
+    return min(ctx.limit_refs, CORUN_REFS)
+
+
+def _spec(ctx, workloads, scheme):
+    """The CoRunSpec for one co-run cell of this context's study."""
+    return CoRunSpec.create(
+        list(workloads), scheme, config=ctx.config, limit_refs=_refs(ctx),
+        scale=ctx.scale, seed=ctx.seed,
+    )
+
+
+def _pairs():
+    """The 15 unordered pairs of distinct representative benchmarks."""
+    return list(itertools.combinations(CORUN_BENCHMARKS, 2))
+
+
+def _prefetch(ctx, specs):
+    """Resolve co-run cells through the batch runner; memoized per ctx."""
+    results = ctx.prefetch(specs)
+    return dict(zip(specs, results))
+
+
+def run(ctx):
+    """Pairwise co-runs: slowdown, fairness, and cross-core pollution."""
+    pairs = _pairs()
+    specs = [_spec(ctx, pair, scheme)
+             for pair in pairs for scheme in CORUN_SCHEMES]
+    results = _prefetch(ctx, specs)
+    rows = []
+    for pair in pairs:
+        for scheme in CORUN_SCHEMES:
+            result = results[_spec(ctx, pair, scheme)]
+            if not result.ok:
+                continue  # partial sweep: footnote names the missing runs
+            shared = result.shared
+            slow = shared["slowdowns"]
+            rows.append([
+                "+".join(pair),
+                scheme,
+                round(slow[0], 3),
+                round(slow[1], 3),
+                round(shared["geomean_slowdown"], 3),
+                round(shared["fairness"], 3),
+                shared["cross_core_pollution"],
+                round(100.0 * shared["l2"]["miss_rate"], 1),
+            ])
+    return ExperimentResult(
+        "Pairwise co-runs on a shared L2: slowdown and fairness",
+        ["pair", "scheme", "slow0", "slow1", "geomean", "fairness",
+         "xpoll", "L2miss%"],
+        rows,
+        notes=ctx.annotate(
+            "slowN = core N's cycles relative to running alone on the "
+            "same machine; fairness = Jain index over relative speeds; "
+            "xpoll = demand misses caused by another core's prefetch "
+            "evicting the victim's lines (%d refs/core)." % _refs(ctx)),
+    )
+
+
+def run_rush_hour(ctx):
+    """All 18 benchmarks co-running at once — the bandwidth crunch."""
+    specs = [_spec(ctx, ALL_BENCHMARKS, scheme) for scheme in CORUN_SCHEMES]
+    results = _prefetch(ctx, specs)
+    rows = []
+    for scheme, spec in zip(CORUN_SCHEMES, specs):
+        result = results[spec]
+        if not result.ok:
+            continue  # partial sweep: footnote names the missing runs
+        shared = result.shared
+        slow = shared["slowdowns"]
+        mshr = shared["mshr"]
+        rows.append([
+            scheme,
+            round(shared["geomean_slowdown"], 3),
+            round(max(slow), 3),
+            round(shared["fairness"], 3),
+            shared["cross_core_pollution"],
+            round(100.0 * shared["l2"]["miss_rate"], 1),
+            round(100.0 * shared["dram_row_hit_rate"], 1),
+            mshr["stalls"],
+        ])
+    return ExperimentResult(
+        "Rush hour: all %d benchmarks on %d cores"
+        % (len(ALL_BENCHMARKS), len(ALL_BENCHMARKS)),
+        ["scheme", "geomean", "worst", "fairness", "xpoll", "L2miss%",
+         "rowhit%", "mshr_stalls"],
+        rows,
+        notes=ctx.annotate(
+            "geomean/worst = geometric-mean and maximum per-core slowdown "
+            "vs solo; mshr_stalls = demand misses stalled on a full "
+            "shared MSHR file (%d refs/core)." % _refs(ctx)),
+    )
+
+
+def run_recovery(ctx):
+    """srp-adaptive vs static srp under pairwise contention."""
+    pairs = _pairs()
+    specs = [_spec(ctx, pair, scheme)
+             for pair in pairs for scheme in ("srp", "srp-adaptive")]
+    results = _prefetch(ctx, specs)
+    rows = []
+    wins = 0
+    srp_means = []
+    ada_means = []
+    for pair in pairs:
+        srp = results[_spec(ctx, pair, "srp")]
+        ada = results[_spec(ctx, pair, "srp-adaptive")]
+        if not (srp.ok and ada.ok):
+            continue  # partial sweep: footnote names the missing runs
+        srp_slow = srp.shared["geomean_slowdown"]
+        ada_slow = ada.shared["geomean_slowdown"]
+        win = ada_slow < srp_slow - 1e-12
+        wins += win
+        srp_means.append(srp_slow)
+        ada_means.append(ada_slow)
+        rows.append([
+            "+".join(pair),
+            round(srp_slow, 3),
+            round(ada_slow, 3),
+            round(srp_slow - ada_slow, 3),
+            srp.shared["cross_core_pollution"],
+            ada.shared["cross_core_pollution"],
+            "yes" if win else "",
+        ])
+    if srp_means:
+        rows.append([
+            "geomean", round(geometric_mean(srp_means), 3),
+            round(geometric_mean(ada_means), 3),
+            round(geometric_mean(srp_means) - geometric_mean(ada_means), 3),
+            "", "", "%d/%d" % (wins, len(srp_means)),
+        ])
+    return ExperimentResult(
+        "Contention recovery: srp-adaptive vs static srp",
+        ["pair", "srp", "srp-adapt", "delta", "srp_xpoll", "ada_xpoll",
+         "win"],
+        rows,
+        notes=ctx.annotate(
+            "Columns 2-3 are geometric-mean co-run slowdowns vs solo; the "
+            "throttle reads the *shared* DRAM busy fraction, so channel "
+            "pressure from the neighbour core drives it down the ladder "
+            "where static SRP keeps overshooting."),
+    )

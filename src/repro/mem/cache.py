@@ -41,15 +41,21 @@ def normalize_prefetch_insert(value, assoc):
 
 
 class CacheLine:
-    """One resident block: tag plus the bookkeeping bits the policy needs."""
+    """One resident block: tag plus the bookkeeping bits the policy needs.
 
-    __slots__ = ("block", "dirty", "prefetched", "referenced")
+    ``owner`` is the id of the core whose fill installed the line; it is
+    always 0 in a single-core hierarchy and only read when a shared cache
+    has per-core attribution enabled (see :meth:`Cache.enable_core_stats`).
+    """
 
-    def __init__(self, block, prefetched=False):
+    __slots__ = ("block", "dirty", "prefetched", "referenced", "owner")
+
+    def __init__(self, block, prefetched=False, owner=0):
         self.block = block
         self.dirty = False
         self.prefetched = prefetched
         self.referenced = not prefetched
+        self.owner = owner
 
     def __repr__(self):
         return "CacheLine(0x%x%s%s)" % (
@@ -172,6 +178,20 @@ class Cache:
         #: layer's tracing tap.  None (the default) costs one comparison
         #: per event.
         self.observer = None
+        #: Per-core attribution (multi-core shared caches only): a list
+        #: of :class:`CacheStats`, one per core, or None (the default —
+        #: private caches pay one load + branch per event).  The stepping
+        #: loop sets ``active_core`` before each core's event; every
+        #: shared-counter increment is mirrored into exactly one per-core
+        #: slot, so the per-core counters sum to the shared ones by
+        #: construction.  See :meth:`enable_core_stats` for the
+        #: attribution rules.
+        self.core_stats = None
+        self.active_core = 0
+        #: Optional cross-core interference tap (duck-typed; see
+        #: ``repro.sim.multicore.InterferenceMatrix``).  Only consulted
+        #: when ``core_stats`` is enabled.
+        self.interference = None
 
     # ------------------------------------------------------------------
     def _set_index(self, block):
@@ -192,12 +212,29 @@ class Cache:
         """:meth:`access` for callers that already hold the block base."""
         stats = self.stats
         stats.demand_accesses += 1
+        core_stats = self.core_stats
+        if core_stats is not None:
+            cstats = core_stats[self.active_core]
+            cstats.demand_accesses += 1
+        else:
+            cstats = None
         line = self._index.get(block)
         if line is None:
             stats.demand_misses += 1
-            polluted = self._shadow.pop(block, None) is not None
+            # The shadow set stores the evicting core's id (0 in a
+            # single-core hierarchy); presence alone marks pollution.
+            evicter = self._shadow.pop(block, None)
+            polluted = evicter is not None
             if polluted:
                 stats.pollution_misses += 1
+            if cstats is not None:
+                cstats.demand_misses += 1
+                if polluted:
+                    cstats.pollution_misses += 1
+                    if evicter != self.active_core \
+                            and self.interference is not None:
+                        self.interference.note_pollution(
+                            evicter, self.active_core)
             if self.observer is not None:
                 self.observer.on_demand_miss(self, block, polluted)
             return False
@@ -209,9 +246,15 @@ class Cache:
         if first_use:
             line.referenced = True
             stats.useful_prefetches += 1
+            if core_stats is not None:
+                # Useful prefetches credit the core that prefetched the
+                # line, not (necessarily) the core touching it.
+                core_stats[line.owner].useful_prefetches += 1
         if is_store:
             line.dirty = True
         stats.demand_hits += 1
+        if cstats is not None:
+            cstats.demand_hits += 1
         if self.observer is not None:
             self.observer.on_demand_hit(self, block, first_use)
         return True
@@ -261,6 +304,8 @@ class Cache:
                 existing.dirty = True
             return None
         stats = self.stats
+        core_stats = self.core_stats
+        active = self.active_core
         shadow = self._shadow
         lines = self._sets[(block >> self._block_shift) & self._set_mask]
         writeback = None
@@ -269,13 +314,24 @@ class Cache:
             del index[victim.block]
             if victim.prefetched and not victim.referenced:
                 stats.useless_evicted_prefetches += 1
+                if core_stats is not None:
+                    core_stats[victim.owner].useless_evicted_prefetches += 1
             if prefetched:
                 # Shadow the victim: a later demand miss to it is cache
-                # pollution chargeable to this prefetch fill.
+                # pollution chargeable to this prefetch fill.  The stored
+                # value is the evicting core's id (0 single-core).
                 stats.prefetch_evictions += 1
-                shadow[victim.block] = True
+                shadow[victim.block] = active
                 if len(shadow) > self._shadow_capacity:
                     shadow.popitem(last=False)
+                if core_stats is not None:
+                    core_stats[active].prefetch_evictions += 1
+            if core_stats is not None:
+                if victim.dirty:
+                    core_stats[active].writebacks += 1
+                if victim.owner != active and self.interference is not None:
+                    self.interference.note_eviction(
+                        active, victim.owner, prefetched)
             if victim.dirty:
                 stats.writebacks += 1
                 writeback = victim.block
@@ -285,7 +341,7 @@ class Cache:
         # The block is resident again: any pending pollution attribution
         # against it is moot.
         shadow.pop(block, None)
-        line = CacheLine(block, prefetched=prefetched)
+        line = CacheLine(block, prefetched=prefetched, owner=active)
         if is_store:
             line.dirty = True
         if prefetched:
@@ -299,6 +355,8 @@ class Cache:
         index[block] = line
         if prefetched:
             stats.prefetch_fills += 1
+            if core_stats is not None:
+                core_stats[active].prefetch_fills += 1
         if self.observer is not None:
             self.observer.on_fill(self, block, prefetched)
         return writeback
@@ -316,6 +374,8 @@ class Cache:
             self.stats.prefetch_hits_squashed += 1
             return None
         stats = self.stats
+        core_stats = self.core_stats
+        active = self.active_core
         shadow = self._shadow
         lines = self._sets[(block >> self._block_shift) & self._set_mask]
         writeback = None
@@ -324,10 +384,19 @@ class Cache:
             del index[victim.block]
             if victim.prefetched and not victim.referenced:
                 stats.useless_evicted_prefetches += 1
+                if core_stats is not None:
+                    core_stats[victim.owner].useless_evicted_prefetches += 1
             stats.prefetch_evictions += 1
-            shadow[victim.block] = True
+            shadow[victim.block] = active
             if len(shadow) > self._shadow_capacity:
                 shadow.popitem(last=False)
+            if core_stats is not None:
+                core_stats[active].prefetch_evictions += 1
+                if victim.dirty:
+                    core_stats[active].writebacks += 1
+                if victim.owner != active and self.interference is not None:
+                    self.interference.note_eviction(
+                        active, victim.owner, True)
             if victim.dirty:
                 stats.writebacks += 1
                 writeback = victim.block
@@ -336,7 +405,7 @@ class Cache:
                                        victim.referenced, True)
         if shadow:
             shadow.pop(block, None)
-        line = CacheLine(block, prefetched=True)
+        line = CacheLine(block, prefetched=True, owner=active)
         depth = self.prefetch_insert_depth
         if depth >= len(lines):
             lines.append(line)  # MRU
@@ -344,6 +413,8 @@ class Cache:
             lines.insert(depth, line)  # 0 = LRU: pollution control
         index[block] = line
         stats.prefetch_fills += 1
+        if core_stats is not None:
+            core_stats[active].prefetch_fills += 1
         if self.observer is not None:
             self.observer.on_fill(self, block, True)
         return writeback
@@ -375,12 +446,38 @@ class Cache:
             for line in lines:
                 yield line.block
 
-    def resident_unreferenced_prefetches(self):
-        """Count prefetched blocks never demanded (for final accuracy)."""
+    def enable_core_stats(self, n_cores):
+        """Switch on per-core attribution for a shared cache.
+
+        Allocates one :class:`CacheStats` per core.  The attribution
+        rules, chosen so each per-core column has a single unambiguous
+        debtor and the columns sum to the shared counters:
+
+        * demand accesses / hits / misses / pollution misses — the
+          **accessing** core (``active_core``);
+        * prefetch fills, prefetch evictions, writebacks — the **active**
+          core whose fill or eviction performed the work;
+        * useful prefetches and useless evicted prefetches — the line's
+          **owner** (the core whose fill installed it).
+
+        Cross-core events (a fill evicting another core's line, a demand
+        miss to a block another core's prefetch displaced) are
+        additionally reported to :attr:`interference` when set.
+        """
+        self.core_stats = [CacheStats() for _ in range(n_cores)]
+        return self.core_stats
+
+    def resident_unreferenced_prefetches(self, owner=None):
+        """Count prefetched blocks never demanded (for final accuracy).
+
+        With ``owner`` set, count only lines installed by that core —
+        the per-core accuracy denominator in a shared cache.
+        """
         count = 0
         for lines in self._sets:
             for line in lines:
-                if line.prefetched and not line.referenced:
+                if line.prefetched and not line.referenced \
+                        and (owner is None or line.owner == owner):
                     count += 1
         return count
 

@@ -102,6 +102,11 @@ class MemoryController:
         self._held_queued_at = 0.0
         self._held_ch = 0
         self._cache_blocked = True
+        #: Which core this controller front-ends (multi-core co-runs give
+        #: each core a private controller over the shared DRAM/MSHRs).
+        #: Selects the per-core slice mirrored by the inlined DRAM/MSHR
+        #: operations in :meth:`issue_prefetches` when attribution is on.
+        self.core_id = 0
 
     # ------------------------------------------------------------------
     def demand_fetch(self, block, now):
@@ -191,9 +196,21 @@ class MemoryController:
         row_miss_latency = dram_cfg.row_miss_latency
         transfer_cycles = dram_cfg.transfer_cycles
         dstats = dram.stats
+        # Per-core mirrors (shared multi-core DRAM/MSHRs only; both stay
+        # None in a single-core hierarchy).  The inlined transfer below
+        # bypasses DRAMSystem.access, so it must mirror its attribution.
+        core_id = self.core_id
+        dstats_core = None
+        core_busy = None
+        if dram.core_stats is not None:
+            dstats_core = dram.core_stats[core_id]
+            core_busy = dram.core_busy_cycles
+        mshr_core = None
         if mshrs is not None:
             mshr_inflight = mshrs._inflight
             mshr_capacity = mshrs.num_entries
+            if mshrs.core_stats is not None:
+                mshr_core = mshrs.core_stats[core_id]
         issued = 0
         while issued < budget:
             request = pop_candidate(now, dram)
@@ -259,13 +276,20 @@ class MemoryController:
             if bank_rows[bank] == row:
                 latency = row_hit_latency
                 dstats.row_hits += 1
+                if dstats_core is not None:
+                    dstats_core.row_hits += 1
             else:
                 latency = row_miss_latency
                 dstats.row_misses += 1
+                if dstats_core is not None:
+                    dstats_core.row_misses += 1
                 bank_rows[bank] = row
             channel_free[ch] = start + transfer_cycles
             busy_cycles[ch] += transfer_cycles
             dstats.prefetch_blocks += 1
+            if dstats_core is not None:
+                dstats_core.prefetch_blocks += 1
+                core_busy[core_id] += transfer_cycles
             ready = start + latency
             if mshrs is not None:
                 # MSHRFile.allocate(block, ready, earliest), inlined.
@@ -278,6 +302,8 @@ class MemoryController:
                 if ready < mshrs._min_ready:
                     mshrs._min_ready = ready
                 mshrs.allocations += 1
+                if mshr_core is not None:
+                    mshr_core.allocations += 1
             self.prefetches_issued += 1
             issued += 1
             if metrics is not None:

@@ -96,6 +96,24 @@ class DRAMSystem:
         #: numerator of per-channel utilization (busy / elapsed cycles).
         self.channel_busy_cycles = [0] * cfg.channels
         self.stats = DRAMStats()
+        #: Per-core attribution (shared multi-core DRAM only): parallel
+        #: :class:`DRAMStats` plus per-core busy-cycle totals, or None
+        #: (the default).  The issuing layer sets ``active_core`` before
+        #: each access; see :meth:`enable_core_stats`.
+        self.core_stats = None
+        self.active_core = 0
+        self.core_busy_cycles = None
+
+    def enable_core_stats(self, n_cores):
+        """Switch on per-core traffic attribution for a shared DRAM.
+
+        Every counter bump in :meth:`access` is mirrored into the active
+        core's :class:`DRAMStats` (and its busy-cycle total), so the
+        per-core columns sum to the shared ones by construction.
+        """
+        self.core_stats = [DRAMStats() for _ in range(n_cores)]
+        self.core_busy_cycles = [0] * n_cores
+        return self.core_stats
 
     # ------------------------------------------------------------------
     # Address mapping: blocks interleave across channels, then banks.
@@ -159,22 +177,37 @@ class DRAMSystem:
         start = self._channel_free[ch]
         if now >= start:
             start = now
+        core_stats = self.core_stats
+        cstats = None
+        if core_stats is not None:
+            cstats = core_stats[self.active_core]
+            self.core_busy_cycles[self.active_core] += cfg.transfer_cycles
         bank_rows = self._open_rows[ch]
         if bank_rows[bank] == row:
             latency = cfg.row_hit_latency
             stats.row_hits += 1
+            if cstats is not None:
+                cstats.row_hits += 1
         else:
             latency = cfg.row_miss_latency
             stats.row_misses += 1
+            if cstats is not None:
+                cstats.row_misses += 1
             bank_rows[bank] = row
         self._channel_free[ch] = start + cfg.transfer_cycles
         self.channel_busy_cycles[ch] += cfg.transfer_cycles
         if kind == "demand":
             stats.demand_blocks += 1
+            if core_stats is not None:
+                cstats.demand_blocks += 1
         elif kind == "prefetch":
             stats.prefetch_blocks += 1
+            if core_stats is not None:
+                cstats.prefetch_blocks += 1
         elif kind == "writeback":
             stats.writeback_blocks += 1
+            if core_stats is not None:
+                cstats.writeback_blocks += 1
         else:
             raise ValueError("unknown access kind %r" % kind)
         return start + latency

@@ -57,7 +57,7 @@ class Hierarchy:
     """L1 + L2 + MSHRs + memory controller + DRAM, with prefetcher hooks."""
 
     def __init__(self, config, space, prefetcher=None, mode="real",
-                 trace_sink=None, reference=False):
+                 trace_sink=None, reference=False, shared=None, core_id=0):
         if mode not in ("real", "perfect_l1", "perfect_l2"):
             raise ValueError("unknown hierarchy mode %r" % mode)
         self.config = config
@@ -67,17 +67,37 @@ class Hierarchy:
         self._block_mask = ~(config.block_size - 1)
         self._perfect_l1 = mode == "perfect_l1"
         self._perfect_l2 = mode == "perfect_l2"
+        #: Multi-core wiring: ``shared`` is a duck-typed bundle (see
+        #: ``repro.sim.multicore.SharedMemorySystem``) carrying the L2,
+        #: MSHR file, DRAM, and in-flight prefetch ready-time structures
+        #: that all cores contend for.  None (the default) builds the
+        #: private single-core stack below, byte-identically to before.
+        #: Cores must replay *disjoint* physical address ranges (the
+        #: builders shift each core's AddressSpace base), so a block is
+        #: only ever filled by its owning core.
+        self._shared = shared
+        self.core_id = core_id
         self.l1 = Cache(
             "L1D", config.l1_size, config.l1_assoc, config.block_size,
             config.l1_latency,
         )
-        self.l2 = Cache(
-            "L2", config.l2_size, config.l2_assoc, config.block_size,
-            config.l2_latency, prefetch_insert=config.prefetch_insert,
-        )
-        self.l2_mshrs = MSHRFile(config.mshr_entries)
-        self.dram = DRAMSystem(config.dram)
+        if shared is None:
+            self.l2 = Cache(
+                "L2", config.l2_size, config.l2_assoc, config.block_size,
+                config.l2_latency, prefetch_insert=config.prefetch_insert,
+            )
+            self.l2_mshrs = MSHRFile(config.mshr_entries)
+            self.dram = DRAMSystem(config.dram)
+            self._prefetch_ready = {}
+            self._ready_heap = []
+        else:
+            self.l2 = shared.l2
+            self.l2_mshrs = shared.mshrs
+            self.dram = shared.dram
+            self._prefetch_ready = shared.prefetch_ready
+            self._ready_heap = shared.ready_heap
         self.controller = MemoryController(self.dram, prefetcher)
+        self.controller.core_id = core_id
         self.controller.fill_prefetch = self._fill_prefetch
         self.controller.is_resident = self.l2.contains_block
         self.controller.resident_map = self.l2.resident_map
@@ -119,13 +139,13 @@ class Hierarchy:
             else None
         )
         self.stats = HierarchyStats()
-        self._prefetch_ready = {}
-        #: Min-heap of (ready, block) mirroring ``_prefetch_ready`` with
-        #: lazy deletion: entries popped from the dict (demand touches) or
-        #: superseded by a re-prefetch go stale in the heap and are
-        #: skipped when popped.  Pruning is therefore O(log n) amortized
-        #: per fill instead of a full-dict scan at every threshold hit.
-        self._ready_heap = []
+        # ``_prefetch_ready`` (set above, possibly shared): {block ->
+        # data-ready cycle} for in-flight prefetch fills.  ``_ready_heap``
+        # is a min-heap of (ready, block) mirroring it with lazy deletion:
+        # entries popped from the dict (demand touches) or superseded by a
+        # re-prefetch go stale in the heap and are skipped when popped.
+        # Pruning is therefore O(log n) amortized per fill instead of a
+        # full-dict scan at every threshold hit.
         # Observability layer: always collects the summary metrics; the
         # per-event trace hooks are installed only when a sink is given.
         self.metrics = MetricsCollector(sink=trace_sink)
@@ -272,6 +292,9 @@ class Hierarchy:
                     self.controller._blocked_until = -1.0
                 return completion
         mshrs = self.l2_mshrs
+        mshr_core = None
+        if mshrs.core_stats is not None:
+            mshr_core = mshrs.core_stats[self.core_id]
         # MSHRFile.lookup / earliest_free, with their lazy-reclaim guard
         # hoisted so the common no-completed-fill case pays no calls.
         if t >= mshrs._min_ready:
@@ -279,15 +302,21 @@ class Hierarchy:
         merged = mshrs._inflight.get(block)
         if merged is not None:
             mshrs.merges += 1
+            if mshr_core is not None:
+                mshr_core.merges += 1
             self.stats.mshr_merge_waits += 1
             return max(merged, t + self.l2.latency)
         if len(mshrs._inflight) < mshrs.num_entries:
             start = t
         else:
             mshrs.stalls += 1
+            if mshr_core is not None:
+                mshr_core.stalls += 1
             start = max(t, min(mshrs._inflight.values()))
         ready = self.controller.demand_fetch(block, start)
         mshrs.allocate(block, ready, start)
+        if mshr_core is not None:
+            mshr_core.allocations += 1
         writeback = self.l2.fill(addr, is_store=is_store)
         if writeback is not None:
             self.controller.writeback(writeback, ready)
@@ -312,9 +341,37 @@ class Hierarchy:
         self.metrics.finalize(self, now)
 
     # ------------------------------------------------------------------
+    # Stats views: this core's slice of the (possibly shared) levels.
+    # ------------------------------------------------------------------
+    def l2_stats_view(self):
+        """This core's L2 counters: the shared stats when private, the
+        per-core attribution slice when the L2 is shared."""
+        if self._shared is None:
+            return self.l2.stats
+        return self.l2.core_stats[self.core_id]
+
+    def dram_stats_view(self):
+        """This core's DRAM traffic counters (see :meth:`l2_stats_view`)."""
+        if self._shared is None:
+            return self.dram.stats
+        return self.dram.core_stats[self.core_id]
+
+    def mshr_stats_view(self):
+        """This core's MSHR counters (``stalls``/``merges``/``allocations``
+        attributes, satisfied by the file itself or its per-core slice)."""
+        if self._shared is None:
+            return self.l2_mshrs
+        return self.l2_mshrs.core_stats[self.core_id]
+
+    def resident_unreferenced_view(self):
+        """Resident never-referenced prefetch count owned by this core."""
+        if self._shared is None:
+            return self.l2.resident_unreferenced_prefetches()
+        return self.l2.resident_unreferenced_prefetches(owner=self.core_id)
+
     def traffic_bytes(self):
-        """Total DRAM traffic (demand + prefetch + writeback), in bytes."""
-        return self.dram.stats.bytes_transferred(self.block_size)
+        """This core's DRAM traffic (demand + prefetch + writeback), bytes."""
+        return self.dram_stats_view().bytes_transferred(self.block_size)
 
     def prefetch_accuracy(self):
         """Fraction of prefetched blocks referenced before leaving the L2.
@@ -322,8 +379,9 @@ class Hierarchy:
         Counts prefetches still resident-but-unreferenced as useless, plus
         any prefetcher-private fills (stream buffers) via the engine stats.
         """
-        fills = self.l2.stats.prefetch_fills
-        useful = self.l2.stats.useful_prefetches
+        l2stats = self.l2_stats_view()
+        fills = l2stats.prefetch_fills
+        useful = l2stats.useful_prefetches
         if self.prefetcher is not None:
             fills += self.prefetcher.private_fills
             useful += self.prefetcher.private_useful

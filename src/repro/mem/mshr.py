@@ -14,6 +14,20 @@ completes; entries whose completion time has passed are reclaimed lazily.
 """
 
 
+class MSHRCoreStats:
+    """Per-core slice of a shared MSHR file's counters.
+
+    Field-compatible with the attributes :class:`MSHRFile` exposes
+    directly (``stalls``, ``merges``, ``allocations``) so the metrics
+    layer can read either interchangeably.
+    """
+
+    def __init__(self):
+        self.merges = 0
+        self.allocations = 0
+        self.stalls = 0
+
+
 class MSHRFile:
     """A fixed-size file of miss status holding registers."""
 
@@ -29,6 +43,17 @@ class MSHRFile:
         self.merges = 0
         self.allocations = 0
         self.stalls = 0
+        #: Per-core attribution for a *shared* MSHR file, or None (the
+        #: default).  The file itself does not know which core is asking,
+        #: so the hierarchy/controller layers mirror their own increments
+        #: into ``core_stats[core_id]`` — see
+        #: ``Hierarchy._l2_miss`` and ``MemoryController.issue_prefetches``.
+        self.core_stats = None
+
+    def enable_core_stats(self, n_cores):
+        """Allocate per-core counter slices (shared multi-core file)."""
+        self.core_stats = [MSHRCoreStats() for _ in range(n_cores)]
+        return self.core_stats
 
     def _reclaim(self, now):
         """Free every register whose fill has completed by ``now``."""

@@ -65,10 +65,21 @@ class AddressSpace:
         static_size=DEFAULT_STATIC_SIZE,
         heap_size=DEFAULT_HEAP_SIZE,
         stack_size=DEFAULT_STACK_SIZE,
+        base=0,
     ):
-        self.static = Segment("static", self.DEFAULT_STATIC_START, static_size)
-        self.heap = Segment("heap", self.DEFAULT_HEAP_START, heap_size)
-        self.stack = Segment("stack", self.DEFAULT_STACK_START, stack_size)
+        # ``base`` shifts the whole segment layout: a multi-core co-run
+        # gives each core's process image a disjoint region of the
+        # physical address space (base = core id x a large power of two),
+        # so two replicas of the same workload never alias in a shared
+        # cache.  Pointer values recorded by the builders are allocated
+        # within the shifted segments, so every base-and-bounds check and
+        # content scan stays self-consistent.
+        self.base = base
+        self.static = Segment(
+            "static", base + self.DEFAULT_STATIC_START, static_size)
+        self.heap = Segment("heap", base + self.DEFAULT_HEAP_START, heap_size)
+        self.stack = Segment(
+            "stack", base + self.DEFAULT_STACK_START, stack_size)
         self._heap_brk = self.heap.start
         self._static_brk = self.static.start
         self._words = {}

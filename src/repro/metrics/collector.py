@@ -139,9 +139,17 @@ class MetricsCollector:
 
     # ------------------------------------------------------------------
     def finalize(self, hierarchy, now):
-        """Fold in end-of-run state; called by ``Hierarchy.finish``."""
-        l2 = hierarchy.l2
-        mshrs = hierarchy.l2_mshrs
+        """Fold in end-of-run state; called by ``Hierarchy.finish``.
+
+        Cache/MSHR counters go through the hierarchy's per-core stats
+        views, so in a multi-core co-run each collector reports its own
+        core's slice.  The DRAM channel busy/utilization series stays
+        shared-level deliberately: channel occupancy is a property of the
+        contended resource, and the per-core traffic split lives in the
+        co-run result's shared section instead.
+        """
+        l2stats = hierarchy.l2_stats_view()
+        mshrs = hierarchy.mshr_stats_view()
         cycles = max(float(now), 1.0)
         busy = [float(b) for b in hierarchy.dram.channel_busy_cycles]
         utilization = [min(1.0, b / cycles) for b in busy]
@@ -149,15 +157,15 @@ class MetricsCollector:
         self._final = {
             "cycles": float(now),
             "timeliness": {
-                "prefetch_fills": l2.stats.prefetch_fills,
+                "prefetch_fills": l2stats.prefetch_fills,
                 "timely": self.timely_prefetch_uses,
                 "late": self.late_prefetch_uses,
-                "useless_evicted": l2.stats.useless_evicted_prefetches,
-                "never_referenced": l2.resident_unreferenced_prefetches(),
+                "useless_evicted": l2stats.useless_evicted_prefetches,
+                "never_referenced": hierarchy.resident_unreferenced_view(),
             },
             "pollution": {
-                "pollution_misses": l2.stats.pollution_misses,
-                "prefetch_evictions": l2.stats.prefetch_evictions,
+                "pollution_misses": l2stats.pollution_misses,
+                "prefetch_evictions": l2stats.prefetch_evictions,
             },
             "dram": {
                 "channel_busy_cycles": busy,

@@ -25,13 +25,15 @@ from repro.sim.stats import result_from_dict
 #: Downstream consumers (CI's schema check, notebooks, spreadsheets) key
 #: on these names; extend the tuple deliberately, never reorder it.
 #: ``status`` is ``"ok"`` or ``"failed:<kind>"`` (resilient sweeps only).
+#: ``core``/``corun`` identify multi-core co-run rows (the core index and
+#: the co-run's workload mix); both stay blank for single-core rows.
 SUMMARY_COLUMNS = (
     "workload", "scheme", "instructions", "cycles", "ipc",
     "l2_miss_rate", "l2_demand_misses", "traffic_bytes",
     "prefetch_accuracy", "dram_demand_blocks", "dram_prefetch_blocks",
     "timely_prefetches", "late_prefetches", "useless_evicted_prefetches",
     "never_referenced_prefetches", "pollution_misses",
-    "mean_channel_utilization", "status",
+    "mean_channel_utilization", "status", "core", "corun",
 )
 
 
@@ -84,12 +86,16 @@ def runs_to_csv(runs):
     Columns are exactly :data:`SUMMARY_COLUMNS`, in that order, for every
     input — a deterministic schema regardless of which runs are exported.
     RunFailure slots contribute a row too: identification and ``status``
-    filled in, metric columns empty.
+    filled in, metric columns empty.  A CoRunResult contributes one row
+    per core (``summary_rows``), each tagged with its ``core`` index and
+    the co-run's workload mix in ``corun``.
     """
     out = io.StringIO()
     writer = csv.writer(out)
     writer.writerow(SUMMARY_COLUMNS)
     for stats in runs:
-        row = stats.summary()
-        writer.writerow([row.get(name, "") for name in SUMMARY_COLUMNS])
+        rows = (stats.summary_rows() if hasattr(stats, "summary_rows")
+                else [stats.summary()])
+        for row in rows:
+            writer.writerow([row.get(name, "") for name in SUMMARY_COLUMNS])
     return out.getvalue()

@@ -6,6 +6,13 @@ Usage::
     python -m repro.sim mcf srp --refs 100000 --policy conservative
     python -m repro.sim art none --mode perfect_l2
     python -m repro.sim art grp --timeout 120 --retries 3
+    python -m repro.sim mcf,swim srp --refs 20000       # 2-core co-run
+    python -m repro.sim mcf srp-adaptive --cores 2      # mcf x 2 co-run
+
+A comma-separated benchmark list (or ``--cores N``, or ``--corun``)
+switches to multi-core co-run mode: every benchmark replays on its own
+core against a shared L2/MSHR/DRAM, and the report shows per-core
+slowdown versus solo, the fairness index, and cross-core pollution.
 
 Passing any resilience flag (``--timeout``, ``--retries``,
 ``--checkpoint``, ``--resume``) — or setting ``$REPRO_FAULT_PLAN`` —
@@ -22,14 +29,39 @@ import sys
 from repro.sim.config import MachineConfig
 from repro.sim.faults import FAULT_PLAN_ENV
 from repro.sim.runner import SCHEMES, run_workload
-from repro.sim.spec import RunSpec
+from repro.sim.spec import CoRunSpec, RunSpec
 from repro.sim.supervisor import SweepSupervisor
 from repro.workloads import workload_names
 
 
+def print_corun(result, config):
+    """Render one CoRunResult as the co-run report."""
+    shared = result.shared
+    slowdowns = shared.get("slowdowns") or [0.0] * result.n_cores
+    shares = shared.get("bandwidth_share") or [0.0] * result.n_cores
+    print("machine: %s" % config.describe())
+    print("co-run: %s / %s (%d cores)"
+          % (result.workload, result.scheme, result.n_cores))
+    print("  core  %-12s %-14s %12s %7s %9s %8s"
+          % ("workload", "scheme", "cycles", "ipc", "slowdown", "bw"))
+    for i, stats in enumerate(result.cores):
+        print("  %4d  %-12s %-14s %12.0f %7.3f %9.3f %7.1f%%"
+              % (i, stats.workload, stats.scheme, stats.cycles,
+                 stats.ipc, slowdowns[i], 100 * shares[i]))
+    print("  fairness        %8.3f   (Jain index over relative speeds)"
+          % shared.get("fairness", 0.0))
+    print("  geomean slowdown %7.3f" % shared.get("geomean_slowdown", 0.0))
+    print("  cross-core pollution %d misses, shared-L2 miss rate %.1f%%"
+          % (shared.get("cross_core_pollution", 0),
+             100 * shared.get("l2", {}).get("miss_rate", 0.0)))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="python -m repro.sim")
-    parser.add_argument("benchmark", choices=workload_names())
+    parser.add_argument("benchmark",
+                        help="benchmark name (one of: %s), or a "
+                             "comma-separated list for a co-run"
+                             % ", ".join(workload_names()))
     # Sorted and derived from the registry so newly registered schemes
     # show up in the help text automatically (and in a stable order).
     parser.add_argument("scheme", choices=sorted(SCHEMES),
@@ -43,6 +75,12 @@ def main(argv=None):
                         choices=["conservative", "default", "aggressive"])
     parser.add_argument("--config", default="scaled",
                         choices=["scaled", "paper", "tiny"])
+    parser.add_argument("--cores", type=int, default=None, metavar="N",
+                        help="co-run N copies of the benchmark on N cores "
+                             "sharing one L2/MSHR/DRAM")
+    parser.add_argument("--corun", action="store_true",
+                        help="force co-run mode (implied by a "
+                             "comma-separated benchmark list or --cores)")
     parser.add_argument("--baseline", action="store_true",
                         help="also run the no-prefetching baseline and "
                              "report relative metrics")
@@ -67,10 +105,51 @@ def main(argv=None):
                                  "--checkpoint journal")
     args = parser.parse_args(argv)
 
+    # The benchmark argument is free-form to admit comma-separated co-run
+    # mixes, so validate the name(s) against the registry by hand.
+    names = [name.strip() for name in args.benchmark.split(",") if name.strip()]
+    known = set(workload_names())
+    unknown = [name for name in names if name not in known]
+    if not names or unknown:
+        parser.error("unknown benchmark%s: %s (choose from %s)"
+                     % ("s" if len(unknown) > 1 else "",
+                        ", ".join(unknown) or args.benchmark,
+                        ", ".join(workload_names())))
+    if args.cores is not None:
+        if args.cores < 1:
+            parser.error("--cores must be >= 1")
+        if len(names) == 1:
+            names = names * args.cores
+        elif len(names) != args.cores:
+            parser.error("--cores %d does not match the %d benchmarks given"
+                         % (args.cores, len(names)))
+    corun = args.corun or len(names) > 1
+
     config = getattr(MachineConfig, args.config)()
     supervised = (args.timeout is not None or args.retries is not None
                   or args.checkpoint is not None or args.resume
                   or bool(os.environ.get(FAULT_PLAN_ENV)))
+    if corun:
+        if args.trace or args.baseline:
+            parser.error("--trace/--baseline are single-core only "
+                         "(co-runs report slowdown vs solo directly)")
+        spec = CoRunSpec.create(names, args.scheme, config=config,
+                                mode=args.mode, policy=args.policy,
+                                limit_refs=args.refs)
+        if supervised:
+            supervisor = SweepSupervisor(
+                [spec], checkpoint=args.checkpoint, resume=args.resume,
+                retries=2 if args.retries is None else args.retries,
+                timeout=args.timeout)
+            result = supervisor.run()[0]
+            if not result.ok:
+                print("run failed permanently: %r" % result, file=sys.stderr)
+                return 1
+        else:
+            from repro.sim.multicore import execute_corun
+            result = execute_corun(spec)
+        print_corun(result, config)
+        return 0
     if supervised:
         spec = RunSpec.create(args.benchmark, args.scheme, config=config,
                               mode=args.mode, policy=args.policy,

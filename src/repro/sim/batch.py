@@ -23,8 +23,8 @@ bounded retries.
 import multiprocessing
 import os
 
-from repro.sim.spec import RunSpec
-from repro.sim.stats import SimStats
+from repro.sim.spec import CoRunSpec, RunSpec
+from repro.sim.stats import result_from_dict
 
 
 def resolve_jobs(jobs):
@@ -39,8 +39,13 @@ def execute_payload(spec_data, trace_path=None):
 
     The worker-side half of the process-boundary round trip, shared by
     the pool worker below and the supervisor's isolated cell workers.
-    Imports the engine lazily so forking/spawning a worker stays cheap.
+    Dispatches on the ``corun`` marker, so multi-core co-runs ride the
+    same pool/supervisor machinery as single-core cells.  Imports the
+    engine lazily so forking/spawning a worker stays cheap.
     """
+    if spec_data.get("corun"):
+        from repro.sim.multicore import execute_corun  # late, as below
+        return execute_corun(CoRunSpec.from_dict(spec_data)).to_dict()
     from repro.sim.runner import execute  # late: keep fork/spawn cheap
     return execute(RunSpec.from_dict(spec_data),
                    trace_path=trace_path).to_dict()
@@ -105,7 +110,11 @@ def run_batch(specs, jobs=1, cache=None, progress=None, trace_dir=None):
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(pending) <= 1:
         for spec in pending:
-            stats = execute(spec, trace_path=trace_path(spec))
+            if isinstance(spec, CoRunSpec):
+                from repro.sim.multicore import execute_corun
+                stats = execute_corun(spec)
+            else:
+                stats = execute(spec, trace_path=trace_path(spec))
             if cache is not None:
                 cache.put(spec, stats)
             resolved[spec] = stats
@@ -119,7 +128,7 @@ def run_batch(specs, jobs=1, cache=None, progress=None, trace_dir=None):
             # reorder results.
             for spec, data in zip(pending,
                                   pool.imap(_worker, payloads, chunksize=1)):
-                stats = SimStats.from_dict(data)
+                stats = result_from_dict(data)
                 if cache is not None:
                     cache.put(spec, stats)
                 resolved[spec] = stats

@@ -22,7 +22,7 @@ import os
 import pathlib
 import tempfile
 
-from repro.sim.stats import SimStats
+from repro.sim.stats import result_from_dict
 
 log = logging.getLogger(__name__)
 
@@ -83,7 +83,7 @@ class ResultCache:
             return None
         try:
             payload = json.loads(text)
-            stats = SimStats.from_dict(payload["stats"])
+            stats = result_from_dict(payload["stats"])
         except (ValueError, KeyError, TypeError) as exc:
             self._quarantine(path, exc)
             self.misses += 1

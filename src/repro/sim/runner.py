@@ -154,25 +154,28 @@ def run_workload(workload, scheme, config=None, mode="real", policy="default",
                      reference=reference, cacheable=False)
 
 
-#: Built-workload cache: {(name, scale): (space, built, program)}.  Every
-#: registered workload's build is deterministic in (name, scale) — the
-#: builders seed their own RNGs — and nothing written after build time:
-#: the interpreter and the prefetchers' pointer scans only *read* the
-#: address space.  Sharing the build across the scheme × mode matrix
-#: saves re-running it (heap construction, shuffles) per cell.
+#: Built-workload cache: {(name, scale, base): (space, built, program)}.
+#: Every registered workload's build is deterministic in (name, scale,
+#: base) — the builders seed their own RNGs — and nothing written after
+#: build time: the interpreter and the prefetchers' pointer scans only
+#: *read* the address space.  Sharing the build across the scheme × mode
+#: matrix saves re-running it (heap construction, shuffles) per cell.
+#: ``base`` shifts the address-space layout — multi-core co-runs build
+#: core ``i``'s image at ``i << 36`` so cores never alias in the shared
+#: L2 (base 0, the single-core default, is byte-compatible with before).
 _BUILD_CACHE = {}
 _BUILD_CACHE_MAX = 32
 
 
-def _built_workload(workload, scale, cacheable):
+def _built_workload(workload, scale, cacheable, base=0):
     if not cacheable:
-        space = AddressSpace()
+        space = AddressSpace(base=base)
         built = workload.build(space, scale=scale)
         return space, built, built.program.finalize()
-    key = (workload.name, scale)
+    key = (workload.name, scale, base)
     entry = _BUILD_CACHE.get(key)
     if entry is None:
-        space = AddressSpace()
+        space = AddressSpace(base=base)
         built = workload.build(space, scale=scale)
         entry = (space, built, built.program.finalize())
         if len(_BUILD_CACHE) >= _BUILD_CACHE_MAX:

@@ -163,3 +163,115 @@ class RunSpec:
         if self.policy != "default":
             parts.append(self.policy)
         return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class CoRunSpec:
+    """A multi-core co-run: N :class:`RunSpec` cells sharing one memory
+    system.
+
+    Cell ``i`` describes what core ``i`` replays (workload, scheme,
+    policy, trace limit).  The shared L2/MSHR/DRAM geometry is taken from
+    cell 0's machine configuration; :meth:`create` requires every cell to
+    agree on it, so a co-run is unambiguous.  Frozen and hashable like
+    :class:`RunSpec` — it drops into the experiment memo, the batch pool,
+    the persistent cache, and the sweep supervisor unchanged.  The
+    serialized form carries a ``"corun"`` marker so one payload field
+    dispatches both spec kinds.
+    """
+
+    cells: tuple
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, workloads, scheme="none", config=None, mode="real",
+               policy="default", limit_refs=None, scale=1.0, seed=12345):
+        """Build a co-run over ``workloads`` (a sequence of names).
+
+        ``scheme`` is either one name applied to every core or a sequence
+        of per-core names (same length as ``workloads``).  The remaining
+        parameters are applied to every cell.
+        """
+        workloads = tuple(workloads)
+        if not workloads:
+            raise ValueError("a co-run needs at least one workload")
+        if isinstance(scheme, str):
+            schemes = (scheme,) * len(workloads)
+        else:
+            schemes = tuple(scheme)
+            if len(schemes) != len(workloads):
+                raise ValueError(
+                    "%d schemes for %d workloads"
+                    % (len(schemes), len(workloads)))
+        cells = tuple(
+            RunSpec.create(
+                workload, s, config=config, mode=mode, policy=policy,
+                limit_refs=limit_refs, scale=scale, seed=seed)
+            for workload, s in zip(workloads, schemes)
+        )
+        return cls(cells=cells)
+
+    def __post_init__(self):
+        if not isinstance(self.cells, tuple) or not self.cells:
+            raise ValueError("CoRunSpec.cells must be a non-empty tuple")
+        first = self.cells[0]
+        for cell in self.cells[1:]:
+            if cell.config_json != first.config_json:
+                raise ValueError(
+                    "co-run cells disagree on the machine configuration")
+            if cell.mode != first.mode:
+                raise ValueError("co-run cells disagree on the mode")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self):
+        """Number of cores (= cells) in the co-run."""
+        return len(self.cells)
+
+    @property
+    def workload(self):
+        """Combined workload label, e.g. ``"mcf+swim"``."""
+        return "+".join(cell.workload for cell in self.cells)
+
+    @property
+    def scheme(self):
+        """The shared scheme name, or the per-core join when they differ."""
+        schemes = [cell.scheme for cell in self.cells]
+        if all(s == schemes[0] for s in schemes):
+            return schemes[0]
+        return "+".join(schemes)
+
+    @property
+    def mode(self):
+        """The cells' (shared) hierarchy mode."""
+        return self.cells[0].mode
+
+    def machine_config(self):
+        """The shared :class:`MachineConfig` (cell 0's; all cells agree)."""
+        return self.cells[0].machine_config()
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """Plain-data form, tagged with the ``"corun"`` marker."""
+        return {
+            "corun": True,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls(cells=tuple(
+            RunSpec.from_dict(cell) for cell in data["cells"]))
+
+    def digest(self, salt=""):
+        """Content hash (the persistent cache's key), as in RunSpec."""
+        payload = _canonical_json(self.to_dict()) + salt
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self):
+        """Short human-readable name (progress lines, log messages)."""
+        parts = [self.workload, self.scheme]
+        if self.mode != "real":
+            parts.append(self.mode)
+        return "/".join(parts)

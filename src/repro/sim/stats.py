@@ -44,9 +44,12 @@ class SimStats:
         self.ipc = core.ipc
         self.load_stall_cycles = core.load_stall_cycles
         self.l1 = hierarchy.l1.stats.snapshot()
-        self.l2 = hierarchy.l2.stats.snapshot()
+        # The L2/DRAM numbers go through the hierarchy's stats views: the
+        # shared counters for a private single-core stack (unchanged), the
+        # per-core attribution slice inside a multi-core co-run.
+        self.l2 = hierarchy.l2_stats_view().snapshot()
         self.hier = hierarchy.stats.snapshot()
-        dram = hierarchy.dram.stats
+        dram = hierarchy.dram_stats_view()
         self.dram_demand_blocks = dram.demand_blocks
         self.dram_prefetch_blocks = dram.prefetch_blocks
         self.dram_writeback_blocks = dram.writeback_blocks
@@ -176,6 +179,10 @@ class SimStats:
             "never_referenced_prefetches": self.never_referenced_prefetches,
             "pollution_misses": self.pollution_misses,
             "mean_channel_utilization": self.mean_channel_utilization,
+            # Multi-core identification: blank for single-core rows; a
+            # CoRunResult's summary_rows() overwrites both per core.
+            "core": "",
+            "corun": "",
         }
 
     def __repr__(self):
@@ -255,15 +262,113 @@ class RunFailure:
             self.label, self.kind, self.attempts, self.error or "-")
 
 
-def result_from_dict(data):
-    """Rehydrate a serialized RunResult slot: SimStats or RunFailure.
+class CoRunResult:
+    """The result of one multi-core co-run.
 
-    The inverse of ``result.to_dict()`` for both concrete types — exports
-    and the supervisor's checkpoint journal dispatch on the ``failed``
-    marker :meth:`RunFailure.to_dict` plants.
+    ``cores`` is one :class:`SimStats` per core (each scoped to that
+    core's attribution slice of the shared levels); ``shared`` is the
+    interference summary of the contended memory system — per-core
+    slowdown versus the solo baseline, the fairness index, cross-core
+    pollution/eviction counts, and the DRAM bandwidth split.  Like
+    SimStats it is JSON-lossless (``to_dict``/``from_dict``) and rides
+    the batch pool, result cache, and sweep supervisor via the
+    ``"corun"`` marker :func:`result_from_dict` dispatches on.
+    """
+
+    ok = True
+
+    def __init__(self, cores, shared):
+        self.cores = list(cores)
+        self.shared = dict(shared)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cores(self):
+        """Number of cores in the co-run."""
+        return len(self.cores)
+
+    @property
+    def workload(self):
+        """Combined workload label (matches ``CoRunSpec.workload``)."""
+        return "+".join(stats.workload for stats in self.cores)
+
+    @property
+    def scheme(self):
+        """Shared scheme name, or the per-core join when they differ."""
+        schemes = [stats.scheme for stats in self.cores]
+        if all(s == schemes[0] for s in schemes):
+            return schemes[0]
+        return "+".join(schemes)
+
+    @property
+    def cycles(self):
+        """Co-run makespan: the slowest core's cycle count."""
+        return max(stats.cycles for stats in self.cores)
+
+    @property
+    def fairness(self):
+        """Jain's fairness index over per-core speeds (1.0 = fair)."""
+        return self.shared.get("fairness", 0.0)
+
+    @property
+    def slowdowns(self):
+        """Per-core slowdown versus the solo baseline (1.0 = no loss)."""
+        return self.shared.get("slowdowns", [])
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """Plain-data form; the ``corun`` key marks the result kind."""
+        return {
+            "corun": True,
+            "cores": [stats.to_dict() for stats in self.cores],
+            "shared": dict(self.shared),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cores=[SimStats.from_dict(core) for core in data["cores"]],
+            shared=data.get("shared", {}),
+        )
+
+    def summary_rows(self):
+        """One export row per core (the CSV layer flattens co-runs).
+
+        Each row is the core's ordinary :meth:`SimStats.summary` plus the
+        ``core`` index and the ``corun`` mix label, so single-core rows
+        (which leave both blank) and co-run rows share one schema.
+        """
+        mix = self.workload
+        slowdowns = self.shared.get("slowdowns") or []
+        rows = []
+        for i, stats in enumerate(self.cores):
+            row = stats.summary()
+            row["core"] = i
+            row["corun"] = mix
+            if i < len(slowdowns):
+                row["slowdown"] = slowdowns[i]
+            rows.append(row)
+        return rows
+
+    def __repr__(self):
+        return "CoRunResult(%s/%s cores=%d fairness=%.3f)" % (
+            self.workload, self.scheme, self.n_cores, self.fairness)
+
+
+def result_from_dict(data):
+    """Rehydrate a serialized RunResult slot.
+
+    The inverse of ``result.to_dict()`` for every concrete result type —
+    exports and the supervisor's checkpoint journal dispatch on the
+    ``failed`` marker :meth:`RunFailure.to_dict` plants and the ``corun``
+    marker :meth:`CoRunResult.to_dict` plants; everything else is a
+    single-core :class:`SimStats`.
     """
     if data.get("failed"):
         return RunFailure.from_dict(data)
+    if data.get("corun"):
+        return CoRunResult.from_dict(data)
     return SimStats.from_dict(data)
 
 

@@ -41,7 +41,7 @@ import multiprocessing
 from repro.sim.batch import execute_payload, resolve_jobs, trace_path_for
 from repro.sim.cache import version_salt
 from repro.sim.faults import FaultPlan, corrupt_file
-from repro.sim.stats import RunFailure, SimStats
+from repro.sim.stats import RunFailure, result_from_dict
 
 #: How long the supervisor waits on worker pipes per scheduling pass.
 POLL_INTERVAL = 0.05
@@ -254,7 +254,7 @@ class SweepSupervisor:
         for spec in uniques:
             entry = journal.get(digests[spec])
             if entry and entry.get("state") == "done" and "stats" in entry:
-                resolved[spec] = SimStats.from_dict(entry["stats"])
+                resolved[spec] = result_from_dict(entry["stats"])
                 note(spec, True)
                 continue
             if self.cache is not None and self._trace_path(spec) is None:
@@ -366,7 +366,7 @@ class SweepSupervisor:
                         cell.conn.close()
                         del in_flight[spec]
                         if message is not None and message[0] == "ok":
-                            complete(spec, SimStats.from_dict(message[1]))
+                            complete(spec, result_from_dict(message[1]))
                         elif message is not None:
                             attempt_failed(spec, "error", message[1])
                         else:

@@ -247,11 +247,14 @@ class TestGracefulExports:
         text = runs_to_csv(mixed)
         header, ok_row, failed_row = text.strip().splitlines()
         assert header.split(",") == list(SUMMARY_COLUMNS)
-        assert ok_row.endswith(",ok")
+        # The trailing core/corun columns stay blank for single-core rows.
+        assert ok_row.endswith(",ok,,")
         cells = failed_row.split(",")
         assert cells[0] == "gzip" and cells[1] == "stride"
-        assert cells[-1] == "failed:timeout"
-        assert all(c == "" for c in cells[2:-1])
+        status = SUMMARY_COLUMNS.index("status")
+        assert cells[status] == "failed:timeout"
+        assert all(c == "" for c in cells[2:status])
+        assert all(c == "" for c in cells[status + 1:])
 
         rebuilt = runs_from_json(runs_to_json(mixed))
         assert rebuilt[0].ok and rebuilt[0].to_dict() == \

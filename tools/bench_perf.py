@@ -60,6 +60,14 @@ FULL_MATRIX = [
 ]
 SMOKE_MATRIX = [("mcf", "srp"), ("swim", "grp"), ("mcf", "srp-adaptive")]
 
+#: Multi-core co-run cases: (workload list, scheme).  Co-runs have a
+#: single implementation (the stepped shared-memory loop — there is no
+#: separate reference path), so their ``speedup_vs_reference`` is
+#: definitionally 1.0 and the value of the case is the recorded refs/sec
+#: plus smoke-mode coverage of the co-run pipeline.
+CORUN_MATRIX = [(["mcf", "swim"], "srp")]
+CORUN_SMOKE = [(["mcf", "swim"], "srp")]
+
 TABLE1_CMD = [
     "-m", "repro.experiments", "table1",
     "--refs", "3000", "--no-cache", "--jobs", "1",
@@ -96,6 +104,32 @@ def measure_case(workload, scheme, refs, repeats):
         "reference": {"cpu_s": round(slow, 4),
                       "refs_per_s": round(refs / slow, 1)},
         "speedup_vs_reference": round(slow / fast, 3),
+    }
+
+
+def measure_corun_case(workloads, scheme, refs, repeats):
+    """Time one cold multi-core co-run (no solo baselines, no ref path)."""
+    from repro.sim.multicore import execute_corun
+    from repro.sim.spec import CoRunSpec
+
+    spec = CoRunSpec.create(workloads, scheme, limit_refs=refs)
+    best = float("inf")
+    for _ in range(repeats):
+        _cold()
+        start = time.process_time()
+        execute_corun(spec, solo_baseline=False)
+        best = min(best, time.process_time() - start)
+    total_refs = refs * len(workloads)
+    timing = {"cpu_s": round(best, 4),
+              "refs_per_s": round(total_refs / best, 1)}
+    return {
+        "workload": "+".join(workloads),
+        "scheme": scheme,
+        "refs": refs,
+        "cores": len(workloads),
+        "optimized": timing,
+        "reference": dict(timing),
+        "speedup_vs_reference": 1.0,
     }
 
 
@@ -144,6 +178,8 @@ def validate(doc):
         need(case, "scheme", str, where)
         need(case, "refs", int, where)
         need(case, "speedup_vs_reference", (int, float), where)
+        if "cores" in case:  # optional: multi-core co-run cases only
+            need(case, "cores", int, where)
         for side in ("optimized", "reference"):
             timing = case.get(side)
             if not isinstance(timing, dict):
@@ -240,6 +276,12 @@ def main(argv=None):
               % (workload, scheme, case["optimized"]["refs_per_s"],
                  case["reference"]["refs_per_s"],
                  case["speedup_vs_reference"]))
+        cases.append(case)
+    for workloads, scheme in (CORUN_SMOKE if args.smoke else CORUN_MATRIX):
+        case = measure_corun_case(workloads, scheme, refs, repeats)
+        print("%-6s %-8s co-run    %8.0f refs/s   (%d cores, shared L2)"
+              % (case["workload"], scheme,
+                 case["optimized"]["refs_per_s"], case["cores"]))
         cases.append(case)
 
     if args.smoke:

@@ -4,7 +4,9 @@ Runs a handful of short simulations across the prefetch schemes, exports
 them through :func:`repro.report.export.runs_to_csv`, and asserts that
 
 * the CSV header is exactly :data:`repro.report.export.SUMMARY_COLUMNS`
-  (downstream notebooks and dashboards key on those names),
+  (downstream notebooks and dashboards key on those names), with a
+  multi-core co-run contributing one row per core tagged in the
+  ``core``/``corun`` columns,
 * every run's metrics snapshot carries the expected sections and the
   timeliness classification partitions the prefetch-fill count, and
 * the metrics survive a JSON + result-cache round trip losslessly.
@@ -26,8 +28,8 @@ import tempfile
 from repro.report.export import SUMMARY_COLUMNS, runs_to_csv
 from repro.sim.batch import run_batch
 from repro.sim.cache import ResultCache
-from repro.sim.spec import RunSpec
-from repro.sim.stats import SimStats
+from repro.sim.spec import CoRunSpec, RunSpec
+from repro.sim.stats import result_from_dict
 
 REFS = 3000
 SWEEP = [
@@ -36,6 +38,10 @@ SWEEP = [
     ("swim", "grp"),
     ("mcf", "grp"),
 ]
+
+#: One multi-core co-run rides the same sweep: its result must export,
+#: round-trip, and carry per-core metrics just like single-core runs.
+CORUN_SWEEP = (["swim", "mcf"], "srp")
 
 #: Sections every metrics snapshot must carry, with their required keys.
 METRIC_SECTIONS = {
@@ -61,9 +67,11 @@ def check_csv(runs):
     if rows[0] != list(SUMMARY_COLUMNS):
         fail("CSV header drifted:\n  expected %r\n  got      %r"
              % (list(SUMMARY_COLUMNS), rows[0]))
-    if len(rows) != len(runs) + 1:
+    # A co-run result contributes one row per core, not one per run.
+    expected = sum(getattr(stats, "n_cores", 1) for stats in runs)
+    if len(rows) != expected + 1:
         fail("expected %d CSV data rows, got %d"
-             % (len(runs), len(rows) - 1))
+             % (expected, len(rows) - 1))
     for row in rows[1:]:
         if len(row) != len(SUMMARY_COLUMNS):
             fail("ragged CSV row: %r" % (row,))
@@ -91,7 +99,7 @@ def check_metrics(stats):
 
 def check_round_trip(specs, runs):
     for spec, stats in zip(specs, runs):
-        rebuilt = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        rebuilt = result_from_dict(json.loads(json.dumps(stats.to_dict())))
         if rebuilt.to_dict() != stats.to_dict():
             fail("%s: JSON round trip is lossy" % spec.label())
     with tempfile.TemporaryDirectory() as tmp:
@@ -105,10 +113,15 @@ def check_round_trip(specs, runs):
 def main():
     specs = [RunSpec.create(bench, scheme, limit_refs=REFS)
              for bench, scheme in SWEEP]
+    specs.append(CoRunSpec.create(CORUN_SWEEP[0], CORUN_SWEEP[1],
+                                  limit_refs=REFS))
     runs = run_batch(specs, jobs=1)
     check_csv(runs)
     for stats in runs:
-        check_metrics(stats)
+        # A co-run carries one full metrics snapshot per core; each must
+        # satisfy the same schema as a single-core run.
+        for core_stats in getattr(stats, "cores", [stats]):
+            check_metrics(core_stats)
     check_round_trip(specs, runs)
     print("metrics schema check passed: %d runs, %d columns"
           % (len(runs), len(SUMMARY_COLUMNS)))

@@ -17,6 +17,12 @@ A fourth check corrupts a cache entry via the ``corrupt`` fault and
 asserts the cache quarantines it (logged miss, recompute) instead of
 raising.
 
+A fifth check runs a multi-core co-run sweep through the supervisor
+twice — once under a crash+hang fault plan, once resumed purely from the
+first run's checkpoint journal — and asserts both CSVs are
+byte-identical to the uninterrupted ``run_batch`` baseline, so the
+resilience machinery provably covers CoRunSpec cells too.
+
 Exit status is nonzero the moment any recovered result diverges from the
 uninterrupted run.
 
@@ -35,7 +41,7 @@ from repro.report.export import runs_to_csv
 from repro.sim.batch import run_batch
 from repro.sim.cache import ResultCache
 from repro.sim.faults import FaultPlan
-from repro.sim.spec import RunSpec
+from repro.sim.spec import CoRunSpec, RunSpec
 from repro.sim.supervisor import SweepSupervisor
 
 REFS = 2000
@@ -60,6 +66,21 @@ FAULT_PLAN = {
 
 #: Cells completed before the self-kill subprocess dies.
 KILL_AFTER = 2
+
+#: Multi-core co-run cells: the supervisor must recover these too.
+CORUN_SWEEP = [
+    (["gzip", "swim"], "srp"),
+    (["mcf", "vpr"], "grp"),
+]
+
+#: Crash one co-run cell and hang the other, first attempt each.
+CORUN_FAULT_PLAN = {
+    "faults": [
+        {"kind": "crash", "match": "gzip+swim/srp", "attempts": [0]},
+        {"kind": "hang", "match": "mcf+vpr/grp", "attempts": [0],
+         "seconds": 60.0},
+    ]
+}
 
 
 def fail(message):
@@ -129,6 +150,36 @@ def check_parent_kill_resume(baseline_csv):
           "matches byte-for-byte" % KILL_AFTER)
 
 
+def check_corun_recovery():
+    corun_specs = [CoRunSpec.create(mix, scheme, limit_refs=REFS)
+                   for mix, scheme in CORUN_SWEEP]
+    baseline_csv = runs_to_csv(run_batch(corun_specs, jobs=1))
+    plan = FaultPlan.from_dict(CORUN_FAULT_PLAN)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "corun.ckpt")
+        supervisor = SweepSupervisor(
+            corun_specs, jobs=2, cache=ResultCache(tmp),
+            checkpoint=checkpoint, retries=2, retry_base=0.01,
+            timeout=60.0, fault_plan=plan)
+        results = supervisor.run()
+        if supervisor.failures:
+            fail("faulted co-run sweep failed permanently: %r"
+                 % supervisor.failures)
+        if runs_to_csv(results) != baseline_csv:
+            fail("faulted co-run sweep's CSV diverged from the "
+                 "uninterrupted run")
+        # Resume with no cache: the journal alone must reproduce every
+        # co-run result byte-for-byte.
+        resumed = SweepSupervisor(
+            corun_specs, jobs=1, cache=None, checkpoint=checkpoint,
+            resume=True).run()
+    if runs_to_csv(resumed) != baseline_csv:
+        fail("resumed co-run sweep's CSV diverged from the "
+             "uninterrupted run")
+    print("co-run recovery: crash + hang retried, then resumed from the "
+          "journal, both byte-identical to the baseline")
+
+
 def check_quarantine():
     spec = specs()[0]
     plan = FaultPlan.from_dict(
@@ -160,8 +211,10 @@ def main(argv=None):
     check_fault_recovery(baseline_csv)
     check_parent_kill_resume(baseline_csv)
     check_quarantine()
-    print("resilience check passed: %d-cell sweep recovered identically "
-          "from worker faults and a parent SIGKILL" % len(SWEEP))
+    check_corun_recovery()
+    print("resilience check passed: %d-cell sweep (+%d co-runs) recovered "
+          "identically from worker faults and a parent SIGKILL"
+          % (len(SWEEP), len(CORUN_SWEEP)))
 
 
 if __name__ == "__main__":
