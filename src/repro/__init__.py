@@ -36,7 +36,11 @@ from repro.sim.stats import (
 )
 from repro.sim.supervisor import SweepAborted, SweepSupervisor
 
-__version__ = "1.5.0"
+# 1.6.0: vectorized replay backend + RunSpec.backend field + the
+# little-endian trace format.  The bump salts ResultCache digests, so
+# entries written by earlier builds (whose specs had no backend field)
+# can never alias results produced under the new dispatch.
+__version__ = "1.6.0"
 
 __all__ = [
     "CoRunResult", "CoRunSpec", "FaultPlan", "MachineConfig", "ResultCache",

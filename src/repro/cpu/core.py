@@ -379,6 +379,22 @@ class Core:
             self.load_stall_cycles = load_stall
         return self.cycles
 
+    def execute_vectorized(self, trace, limit_refs=None):
+        """Replay a compiled trace with the numpy batch backend.
+
+        Byte-identical in every statistic to :meth:`execute_compiled`
+        (the differential suite enforces it); degrades to the fused loop
+        when numpy is unavailable, the trace has no column views, or the
+        configuration falls outside the batch math's exactness envelope
+        (see :func:`repro.sim.vectorized.supports`).
+        """
+        from repro.sim import vectorized  # late: repro.sim imports us
+
+        if not vectorized.supports(self) or trace.columns() is None:
+            return self.execute_compiled(trace, limit_refs=limit_refs)
+        return vectorized.execute_vectorized(self, trace,
+                                             limit_refs=limit_refs)
+
     # ------------------------------------------------------------------
     # Externally-driven stepping (the multi-core replay loop)
     # ------------------------------------------------------------------

@@ -1,0 +1,81 @@
+"""Batch probe/commit helpers over the memory-system structures.
+
+The vectorized replay backend (:mod:`repro.sim.vectorized`) retires whole
+stretches of L1-hitting references at once.  The cache and controller
+semantics those stretches touch — LRU promotion order, dirty bits, the
+blocked-issue gate's lazy MSHR reclaim — live here, next to the
+structures they replicate, so the replication can be audited against
+:meth:`repro.mem.cache.Cache.access_block` and
+:meth:`repro.mem.controller.MemoryController.issue_prefetches` line by
+line.
+
+Each helper performs exactly the state transitions the scalar loop would
+have performed for the same references, in the same order; only the
+bookkeeping that commutes (counter increments) is batched.
+"""
+
+
+def commit_hit_batch(l1, hstats, items):
+    """Retire ``items`` — a run of L1 demand hits — against ``l1``.
+
+    ``items`` is a sequence of ``(block, line, kind)`` triples in program
+    order, where ``line`` is the resident :class:`~repro.mem.cache.CacheLine`
+    for ``block`` and ``kind`` is the compiled-trace kind (``K_STORE`` == 1
+    marks stores).  Replicates the hit half of ``Cache.access_block`` per
+    item (MRU promotion is order-sensitive, so it stays a loop) and batches
+    the commuting counters.  The caller guarantees every item was resident
+    and would have hit when the scalar loop reached it — true for any
+    stretch with no intervening miss, fill, or invalidate, because hits
+    never change membership.
+    """
+    sets = l1._sets
+    shift = l1._block_shift
+    mask = l1._set_mask
+    stats = l1.stats
+    loads = 0
+    useful = 0
+    for block, line, kind in items:
+        lines = sets[(block >> shift) & mask]
+        if lines[-1] is not line:
+            lines.remove(line)
+            lines.append(line)
+        if not line.referenced:
+            line.referenced = True
+            useful += 1
+        if kind:
+            line.dirty = True
+        else:
+            loads += 1
+    n = len(items)
+    stats.demand_accesses += n
+    stats.demand_hits += n
+    if useful:
+        stats.useful_prefetches += useful
+    hstats.loads += loads
+    hstats.stores += n - loads
+    return n
+
+
+def gated_reclaim(controller):
+    """The blocked-issue gate's one side effect, applied once for a batch.
+
+    While the controller's blocked-issue cache is armed, every
+    ``issue_prefetches(now)`` call with ``now <= _blocked_until`` performs
+    only a lazy MSHR reclaim at the held candidate's earliest-issue bound
+    (see the gate notes in ``MemoryController``).  The bound is built from
+    monotone state that a hit stretch never advances, so N gated calls
+    during the stretch equal one: the first reclaim removes every entry
+    completed by the bound and the rest are no-ops.  This helper is that
+    one call, replicated operation for operation.
+    """
+    mshrs = controller.mshrs
+    if mshrs is None:
+        return
+    earliest = controller._held_queued_at
+    free = controller.dram._channel_free[controller._held_ch]
+    if free > earliest:
+        earliest = free
+    if controller.demand_busy_until > earliest:
+        earliest = controller.demand_busy_until
+    if earliest >= mshrs._min_ready:
+        mshrs._reclaim(earliest)

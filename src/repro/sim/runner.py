@@ -25,6 +25,8 @@ grp-adaptive  GRP with the same feedback control plane layered on
 ============  ======================================================
 """
 
+import os
+
 from repro.adapt.engines import AdaptiveGRPPrefetcher, AdaptiveSRPPrefetcher
 from repro.compiler.driver import compile_hints
 from repro.mem.space import AddressSpace
@@ -35,7 +37,7 @@ from repro.prefetch.srp import SRPPrefetcher
 from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import MachineConfig
 from repro.sim.simulator import Simulator
-from repro.sim.spec import RunSpec
+from repro.sim.spec import BACKENDS, RunSpec
 from repro.trace.interp import Interpreter
 from repro.trace.store import TraceKey, default_store, hint_signature
 from repro.workloads.base import Workload, get_workload
@@ -93,6 +95,35 @@ SCHEMES = {
 }
 
 
+def resolve_backend(requested="auto"):
+    """Resolve a spec's replay-backend request to ``fused``/``vectorized``.
+
+    ``"auto"`` (the default on every spec) consults the ``REPRO_BACKEND``
+    environment variable; a pinned spec backend wins over the
+    environment.  When neither pins a choice, the vectorized backend is
+    used whenever numpy is importable — it is byte-identical to the fused
+    loop in every statistic, so the choice only affects speed.  Unknown
+    names, from either source, are errors rather than silent fallbacks.
+    """
+    backend = requested or "auto"
+    if backend == "auto":
+        env = os.environ.get("REPRO_BACKEND", "").strip()
+        if env:
+            if env not in BACKENDS:
+                raise ValueError(
+                    "REPRO_BACKEND=%r is not a known backend (have: %s)"
+                    % (env, ", ".join(BACKENDS)))
+            backend = env
+    if backend == "auto":
+        from repro.sim import vectorized
+        backend = "vectorized" if vectorized.available() else "fused"
+    if backend not in ("fused", "vectorized"):
+        raise ValueError(
+            "unknown replay backend %r (have: %s)"
+            % (backend, ", ".join(BACKENDS)))
+    return backend
+
+
 def execute(spec, trace_path=None, reference=False):
     """Run the simulation a :class:`RunSpec` describes; return its RunResult.
 
@@ -119,12 +150,13 @@ def execute(spec, trace_path=None, reference=False):
     return _simulate(workload, spec.scheme, scheme_spec,
                      spec.machine_config(), spec.mode, spec.policy,
                      spec.limit_refs, spec.scale, spec.seed,
-                     trace_path=trace_path, reference=reference)
+                     trace_path=trace_path, reference=reference,
+                     backend=spec.backend)
 
 
 def run_workload(workload, scheme, config=None, mode="real", policy="default",
                  limit_refs=None, scale=1.0, seed=12345, trace_path=None,
-                 reference=False):
+                 reference=False, backend="auto"):
     """Run one (workload, scheme) simulation; return its SimStats.
 
     Thin shim over :func:`execute`.  ``workload`` may be a name or a
@@ -138,7 +170,7 @@ def run_workload(workload, scheme, config=None, mode="real", policy="default",
     if isinstance(workload, str):
         return execute(RunSpec.create(
             workload, scheme, config=config, mode=mode, policy=policy,
-            limit_refs=limit_refs, scale=scale, seed=seed,
+            limit_refs=limit_refs, scale=scale, seed=seed, backend=backend,
         ), trace_path=trace_path, reference=reference)
     if not isinstance(workload, Workload):
         raise TypeError("workload must be a name or Workload instance")
@@ -151,7 +183,7 @@ def run_workload(workload, scheme, config=None, mode="real", policy="default",
     return _simulate(workload, scheme, scheme_spec,
                      config or MachineConfig.scaled(), mode, policy,
                      limit_refs, scale, seed, trace_path=trace_path,
-                     reference=reference, cacheable=False)
+                     reference=reference, cacheable=False, backend=backend)
 
 
 #: Built-workload cache: {(name, scale, base): (space, built, program)}.
@@ -186,7 +218,7 @@ def _built_workload(workload, scale, cacheable, base=0):
 
 def _simulate(workload, scheme, scheme_spec, config, mode, policy,
               limit_refs, scale, seed, trace_path=None, reference=False,
-              cacheable=True):
+              cacheable=True, backend="auto"):
     # Reference runs rebuild from scratch so a (hypothetical) mutation of
     # shared build state by the fast path could not escape the
     # differential comparison.
@@ -250,7 +282,8 @@ def _simulate(workload, scheme, scheme_spec, config, mode, policy,
             )
         else:
             trace = build_interp().run_columns(limit)
-        return sim.run_compiled(trace, workload=workload.name, scheme=label)
+        return sim.run_compiled(trace, workload=workload.name, scheme=label,
+                                backend=resolve_backend(backend))
     finally:
         if sink is not None:
             sink.close()

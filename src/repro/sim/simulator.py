@@ -28,12 +28,24 @@ class Simulator:
         self.hierarchy.finish(self.core.cycles)
         return SimStats(workload, scheme, self.core, self.hierarchy)
 
-    def run_compiled(self, trace, workload="?", scheme="?", limit_refs=None):
+    def run_compiled(self, trace, workload="?", scheme="?", limit_refs=None,
+                     backend="fused"):
         """Execute a :class:`~repro.trace.compiled.CompiledTrace`.
 
         Issues the identical machine behavior :meth:`run` would over the
-        trace's event stream, via the columnar replay loop.
+        trace's event stream.  ``backend`` picks the replay loop:
+        ``"fused"`` is the scalar columnar loop, ``"vectorized"`` batches
+        boring stretches with numpy (and silently degrades to the fused
+        loop when numpy or the configuration doesn't support batching —
+        the two are byte-identical in every statistic).
         """
-        self.core.execute_compiled(trace, limit_refs=limit_refs)
+        if backend == "vectorized":
+            self.core.execute_vectorized(trace, limit_refs=limit_refs)
+        elif backend == "fused":
+            self.core.execute_compiled(trace, limit_refs=limit_refs)
+        else:
+            raise ValueError(
+                "unknown replay backend %r (have: fused, vectorized)"
+                % (backend,))
         self.hierarchy.finish(self.core.cycles)
         return SimStats(workload, scheme, self.core, self.hierarchy)

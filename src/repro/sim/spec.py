@@ -64,6 +64,15 @@ def _canonical_json(data):
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+#: Replay-backend names a spec may carry.  ``"auto"`` defers the choice
+#: to the runner (``REPRO_BACKEND`` env var, else vectorized when numpy
+#: is available); the other two pin it.  The backend participates in
+#: :meth:`RunSpec.to_dict` and therefore in :meth:`RunSpec.digest`, so
+#: results produced by different pinned backends can never alias one
+#: another in the persistent cache.
+BACKENDS = ("auto", "fused", "vectorized")
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One (workload, scheme, mode, policy, config, …) simulation cell."""
@@ -75,12 +84,14 @@ class RunSpec:
     limit_refs: int = None
     scale: float = 1.0
     seed: int = 12345
+    backend: str = "auto"
     config_json: str = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, workload, scheme, config=None, mode="real",
-               policy="default", limit_refs=None, scale=1.0, seed=12345):
+               policy="default", limit_refs=None, scale=1.0, seed=12345,
+               backend="auto"):
         """Validate arguments and build a canonical spec.
 
         ``workload`` must be a registered workload name.  The compiler
@@ -100,6 +111,10 @@ class RunSpec:
             )
         if not scheme_spec.hinted:
             policy = "default"
+        if backend not in BACKENDS:
+            raise ValueError(
+                "unknown backend %r (have: %s)"
+                % (backend, ", ".join(BACKENDS)))
         config = config or MachineConfig.scaled()
         return cls(
             workload=workload,
@@ -109,6 +124,7 @@ class RunSpec:
             limit_refs=limit_refs,
             scale=scale,
             seed=seed,
+            backend=backend,
             config_json=_canonical_json(config_to_dict(config)),
         )
 
@@ -129,14 +145,26 @@ class RunSpec:
             "limit_refs": self.limit_refs,
             "scale": self.scale,
             "seed": self.seed,
+            "backend": self.backend,
             "config": (json.loads(self.config_json)
                        if self.config_json is not None else None),
         }
 
     @classmethod
     def from_dict(cls, data):
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Strict about the backend field: a payload naming a backend this
+        build does not know describes a run it cannot reproduce, so it is
+        an error rather than a silent fallback.  A payload with no
+        backend field (pre-backend producers) means ``"auto"``.
+        """
         config = data.get("config")
+        backend = data.get("backend", "auto")
+        if backend not in BACKENDS:
+            raise ValueError(
+                "unknown backend %r in spec payload (have: %s)"
+                % (backend, ", ".join(BACKENDS)))
         return cls(
             workload=data["workload"],
             scheme=data["scheme"],
@@ -145,6 +173,7 @@ class RunSpec:
             limit_refs=data.get("limit_refs"),
             scale=data.get("scale", 1.0),
             seed=data.get("seed", 12345),
+            backend=backend,
             config_json=(_canonical_json(config)
                          if config is not None else None),
         )

@@ -1,0 +1,774 @@
+"""Vectorized batch replay: the third backend under the fast==slow contract.
+
+:func:`execute_vectorized` replays a :class:`~repro.trace.compiled.CompiledTrace`
+by splitting it into *boring stretches* — references that provably hit
+the L1 plus ALU ``Ops`` batches — punctuated by *interesting events*: L1
+misses, software directives, prefetch-issue opportunities, metrics
+sampling boundaries, adaptive-epoch boundaries, and the reference limit.
+Interesting events run one at a time through a scalar body that
+replicates :meth:`repro.cpu.core.Core.execute_compiled` operation for
+operation.  Boring stretches are retired in bulk by two cooperating
+engines:
+
+* **The uniform-ring walker** (pure Python).  Real traces are
+  barrier-dense: a loop-sized ``Ops`` batch (``count >= window``) lands
+  every handful of events, and ``Core._issue_ops`` refills the whole
+  issue ring with a single value at each one.  The walker exploits that:
+  it tracks the ring as ``(fill value, writes since the last barrier)``
+  instead of a materialized list, which turns each barrier into an
+  O(written-entries) closed form (uniform entries can never beat the
+  clock once anything has issued after them) and each in-stretch
+  reference into a few float operations.  The ring list is materialized
+  only when the walker hands off to the scalar body.
+* **The numpy recurrence engine.**  A long barrier-free run (synthetic
+  or hit-streak-heavy traces) is batched columnar: the issue recurrence
+  ``c_t = max(c_{t-1} + inv, ring[head_t])`` factors into
+  ``numpy.maximum.accumulate`` in the shifted coordinate
+  ``D_t = c_t - (t+1)*inv``, and past ``window`` issues the ring can
+  never block (every in-stretch completion latency fits inside one
+  window rotation — enforced by :func:`supports`), so the clock tail is
+  a pure arithmetic progression.
+
+Why the closed forms are exact
+------------------------------
+Under any supported configuration (power-of-two issue width, integer
+cache latencies) every timestamp the core manipulates is an exact
+multiple of ``1/issue_width`` far below the 2^52 mantissa limit, so each
+float add/subtract/max the scalar loop performs is exact — and exact
+operations can be reassociated freely, which is precisely what both
+engines do.  L1 hit effects (LRU promotion, dirty bits, counters) are
+committed through :mod:`repro.mem.probes` against the real cache
+structures, in program order.  The result is byte-identical
+``RunResult.to_dict()`` output against the reference path for every
+workload x scheme; the differential suite enforces it.
+
+The backend falls back to :meth:`Core.execute_compiled` whenever numpy is
+missing or the configuration is unsupported (see :func:`supports`).
+"""
+
+from repro.mem.probes import commit_hit_batch, gated_reclaim
+from repro.trace.compiled import K_OPS, K_STORE
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: The numpy engine's fixed cost (a couple dozen array operations) only
+#: beats the walker on long barrier-free runs; shorter ones stay with
+#: the walker, whose cost is proportional to the work retired.
+_NUMPY_MIN_EVENTS = 192
+_NUMPY_MIN_REFS = 96
+#: Bounds one numpy batch (elementary issues -> work-array length).
+_MAX_SPAN_ELEM = 1 << 17
+
+#: Optional instrumentation: set to a dict and the backend accumulates
+#: batching counters into it (used by the bench tooling to report
+#: coverage): ``events_total``, ``walk_events``, ``walk_refs``,
+#: ``np_spans``, ``np_events``, ``np_refs``.
+span_stats = None
+
+
+def available():
+    """True when the numpy the backend needs is importable."""
+    return _np is not None
+
+
+def supports(core):
+    """True when ``core``'s configuration preserves batch exactness.
+
+    The batch math reassociates float operations, which is only exact
+    when every timestamp is a dyadic rational: the issue width must be a
+    power of two and the L1 latency an integer.  The no-blocking tail
+    argument additionally needs every in-stretch completion latency
+    (``1.0`` for ALU ops, the L1 latency for hits) to fit inside one
+    window rotation.  Reference runs, TLB configs, trace-sink runs,
+    perfect-cache modes, and shared (multi-core) hierarchies take the
+    fused or reference loops instead.
+    """
+    if _np is None:
+        return False
+    hierarchy = core.hierarchy
+    if hierarchy.reference or hierarchy.tlb is not None \
+            or hierarchy.metrics.sink is not None:
+        return False
+    if hierarchy.mode != "real":
+        return False
+    if getattr(hierarchy, "_shared", None) is not None:
+        return False
+    inv = core.inv_width
+    width = 1.0 / inv
+    if not width.is_integer():
+        return False
+    width = int(width)
+    if width <= 0 or width & (width - 1):
+        return False
+    latency = hierarchy.l1.latency
+    if not float(latency).is_integer():
+        return False
+    window_span = core.window * inv
+    if latency < 0 or latency > window_span or 1.0 > window_span:
+        return False
+    return True
+
+
+def execute_vectorized(core, trace, limit_refs=None):
+    """Run ``trace`` on ``core`` with batched boring stretches.
+
+    Byte-identical in every statistic to ``core.execute_compiled(trace,
+    limit_refs)``; returns the final cycle count.  The caller is
+    responsible for checking :func:`supports` first.
+    """
+    np = _np
+    hierarchy = core.hierarchy
+    cols = trace.columns()
+    hints = trace.resolve_hints(core.hint_table)
+    ref_names = trace.ref_names
+    kinds = trace.kinds
+    f0, f1, f2 = trace.f0, trace.f1, trace.f2
+    n = len(kinds)
+    W = core.window
+    inv = core.inv_width
+    ring = core._ring
+    clock = core._clock
+    head = core._head
+    instructions = core.instructions
+    load_stall = core.load_stall_cycles
+    refs = 0
+
+    l1 = hierarchy.l1
+    l1_index = l1._index
+    l1_sets = l1._sets
+    l1_shift = l1._block_shift
+    l1_set_mask = l1._set_mask
+    l1_stats = l1.stats
+    l1_shadow = l1._shadow
+    l1_latency = l1.latency
+    l1_lat_f = float(l1_latency)
+    block_mask = hierarchy._block_mask
+    hstats = hierarchy.stats
+    metrics = hierarchy.metrics
+    series = metrics.series
+    controller = hierarchy.controller
+    issue_prefetches = controller.issue_prefetches
+    has_candidates = hierarchy._has_candidates
+    miss_path = hierarchy.access_after_l1_miss
+    adapt = getattr(hierarchy, "adapt", None)
+    note_access = adapt.note_access if adapt is not None else None
+
+    counts_np = cols.counts
+    ecum = cols.ecum
+    # Stretch-structure indices, consumed through monotone cursors.
+    hard = cols.hard_breaks(W).tolist()
+    hard.append(n)
+    hb = 0
+    bars = cols.barriers(W).tolist()
+    bars.append(n)
+    bb = 0
+    arange1 = np.arange(1, W + 1) * inv
+    # Reusable numpy work arrays (grown on demand, sliced per batch).
+    epos_buf = np.empty(1024, dtype=np.int64)
+    C_buf = np.empty(4096)
+    Cprev_buf = np.empty(4096)
+    Rarr_buf = np.empty(4096)
+    L_buf = np.empty(4096)
+    np_skip_until = 0
+    np_fail = 0
+
+    sstats = span_stats
+    if sstats is not None:
+        sstats["events_total"] = sstats.get("events_total", 0) + n
+
+    from repro.cpu.core import _directive_event
+
+    i = 0
+    stop = False
+    try:
+        while i < n:
+            # ----------------------------------------------------------
+            # Stretch conditions at event i (shared by both engines).
+            # The prefetch-gate regime is constant across a stretch —
+            # only misses, directives, and epoch boundaries change it,
+            # and all of those end the stretch:
+            #   A. no candidates -> issue_prefetches never called;
+            #   B. blocked-issue cache armed -> each in-bound ref pays
+            #      only the gate's idempotent MSHR reclaim;
+            #   C. candidates pending, gate unarmed -> every ref would
+            #      run a real issue burst: refs end the stretch.
+            # ----------------------------------------------------------
+            if has_candidates is None or not has_candidates():
+                mode_b = False
+                refs_ok = True
+                blocked_until = 0.0
+            elif controller._blocked_until != -1.0:
+                mode_b = True
+                refs_ok = True
+                blocked_until = controller._blocked_until
+            else:
+                mode_b = False
+                refs_ok = False
+                blocked_until = 0.0
+            nxt = series._next
+            limit_rem = (limit_refs - refs) if limit_refs is not None \
+                else n + 1
+            if note_access is not None:
+                # The ref that lands on the epoch boundary must run
+                # scalar (the boundary samples and turns knobs).
+                cap = adapt._next_boundary - adapt._accesses - 1
+                if limit_rem < cap:
+                    cap = limit_rem
+            else:
+                cap = limit_rem
+
+            # ----------------------------------------------------------
+            # Numpy engine: long barrier-free runs.
+            # ----------------------------------------------------------
+            while hard[hb] < i:
+                hb += 1
+            while bars[bb] < i:
+                bb += 1
+            run_end = hard[hb] if hard[hb] < bars[bb] else bars[bb]
+            walk_end = n
+            if run_end - i >= _NUMPY_MIN_EVENTS and refs_ok and cap > 0 \
+                    and i < np_skip_until:
+                # The engine is viable here but backing off from a
+                # recent abandoned prescan; stop the walker at the
+                # backoff horizon so the engine gets another shot there
+                # instead of the walker swallowing the whole run.
+                walk_end = np_skip_until if np_skip_until < n else n
+            if run_end - i >= _NUMPY_MIN_EVENTS and refs_ok and cap > 0 \
+                    and i >= np_skip_until:
+                # Prescan: collect provable L1 hits, stopping at the
+                # first certain per-reference event.  The issue-time
+                # lower bound (the clock advances at least inv per
+                # instruction) pre-truncates at metrics/blocked-issue
+                # bounds so the engine never computes timing it would
+                # have to throw away.
+                k = i
+                acc = 0
+                items = []
+                roff = []
+                nref = 0
+                while k < run_end:
+                    kd = kinds[k]
+                    if kd <= K_STORE:
+                        if nref >= cap:
+                            break
+                        bound = clock + acc * inv
+                        if bound >= nxt or \
+                                (mode_b and bound > blocked_until):
+                            break
+                        b = f1[k] & block_mask
+                        line = l1_index.get(b)
+                        if line is None:
+                            break
+                        items.append((b, line, kd))
+                        roff.append(k - i)
+                        nref += 1
+                        acc += 1
+                        k += 1
+                        if nref >= limit_rem:
+                            break
+                    else:
+                        acc += f0[k]
+                        if acc > _MAX_SPAN_ELEM:
+                            break
+                        k += 1
+                span_events = k - i
+                consumed = 0
+                if nref >= _NUMPY_MIN_REFS or \
+                        span_events >= _NUMPY_MIN_EVENTS:
+                    # Elementary expansion of the run (no barriers, so
+                    # every event contributes its full count).
+                    counts_s = counts_np[i:k]
+                    if span_events >= len(epos_buf):
+                        epos_buf = np.empty(
+                            max(span_events + 1, 2 * len(epos_buf)),
+                            dtype=np.int64)
+                    epos = epos_buf[:span_events + 1]
+                    epos[0] = 0
+                    np.cumsum(counts_s, out=epos[1:])
+                    T = int(epos[span_events])
+                    if T > len(C_buf):
+                        size = max(T, 2 * len(C_buf))
+                        C_buf = np.empty(size)
+                        Cprev_buf = np.empty(size)
+                        Rarr_buf = np.empty(size)
+                        L_buf = np.empty(size)
+                    C = C_buf[:T]
+                    Cprev = Cprev_buf[:T]
+                    Rarr = Rarr_buf[:T]
+                    L = L_buf[:T]
+                    L.fill(1.0)
+                    rel = None
+                    if nref:
+                        rel = epos[np.array(roff, dtype=np.int64)]
+                        L[rel] = l1_lat_f
+                    ra = np.asarray(ring)
+                    if head:
+                        ringbuf0 = np.concatenate((ra[head:], ra[:head]))
+                    else:
+                        ringbuf0 = ra
+                    # Issue recurrence over the first window rotation:
+                    # c_t = max(c_{t-1} + inv, ring[head_t]) in the
+                    # shifted coordinate D_t = c_t - (t+1)*inv, where it
+                    # is a plain running maximum.
+                    h = T if T < W else W
+                    rb = ringbuf0[:h]
+                    Rarr[:h] = rb
+                    X = rb - arange1[:h]
+                    if X[0] < clock:
+                        X[0] = clock
+                    np.maximum.accumulate(X, out=X)
+                    seg = X + arange1[:h]
+                    C[:h] = seg
+                    Cprev[0] = clock
+                    if h > 1:
+                        Cprev[1:h] = seg[:h - 1]
+                    if T > W:
+                        # Beyond one rotation the ring cannot block (see
+                        # module docstring): the clock is an arithmetic
+                        # progression and the consumed ring values are
+                        # the run's own writes, lag W.
+                        base = C[W - 1]
+                        C[W:T] = base + np.arange(1, T - W + 1) * inv
+                        Cprev[W:T] = C[W - 1:T - 1]
+                        Rarr[W:T] = C[:T - W] + L[:T - W]
+                    # Exact truncation at the first ref the fused loop
+                    # would have done per-reference work for.
+                    if nref:
+                        nows = np.maximum(Cprev[rel], Rarr[rel])
+                        viol = nows >= nxt
+                        if mode_b:
+                            viol |= nows > blocked_until
+                        vidx = np.nonzero(viol)[0]
+                        cut = int(vidx[0]) if vidx.size else nref
+                    else:
+                        cut = 0
+                    cutev = roff[cut] if cut < nref else span_events
+                    if cutev:
+                        Tc = int(epos[cutev])
+                        if cut:
+                            relc = rel[:cut]
+                            st = C[relc] - Cprev[relc] - inv
+                            pos = float(st[st > 0.0].sum())
+                            if pos > 0.0:
+                                load_stall += pos
+                            commit_hit_batch(l1, hstats, items[:cut])
+                            if note_access is not None:
+                                adapt._accesses += cut
+                            if mode_b:
+                                gated_reclaim(controller)
+                            refs += cut
+                        instructions += int(ecum[i + cutev] - ecum[i])
+                        clock = float(C[Tc - 1])
+                        head_f = (head + Tc) % W
+                        if Tc >= W:
+                            ring_f = C[Tc - W:Tc] + L[Tc - W:Tc]
+                        else:
+                            ring_f = np.concatenate(
+                                (ringbuf0[Tc:], C[:Tc] + L[:Tc]))
+                        # ring[p] consumes ring_f[(p - head_f) % W].
+                        split = W - head_f
+                        ring[head_f:] = ring_f[:split].tolist()
+                        ring[:head_f] = ring_f[split:].tolist()
+                        head = head_f
+                        if limit_refs is not None and refs >= limit_refs:
+                            stop = True
+                        consumed = cutev
+                        if sstats is not None:
+                            sstats["np_spans"] = \
+                                sstats.get("np_spans", 0) + 1
+                            sstats["np_events"] = \
+                                sstats.get("np_events", 0) + cutev
+                            sstats["np_refs"] = \
+                                sstats.get("np_refs", 0) + cut
+                if consumed:
+                    np_fail = 0
+                    i += consumed
+                    if stop:
+                        break
+                    continue
+                # Nothing committed: no attempt before the prescan's
+                # stop point can do better (a suffix of this one), so
+                # don't re-enter the engine until past it — and on a
+                # trace whose hit runs keep falling short (prescans
+                # ending at misses every few dozen events), back off
+                # exponentially so abandoned prescans can't double the
+                # per-event cost.
+                np_fail += 1
+                np_skip_until = k + 1 + (64 << np_fail if np_fail < 10
+                                         else 65536)
+
+            # ----------------------------------------------------------
+            # Uniform-ring walker: retire boring stretches with the ring
+            # held as (fill, writes-since-barrier) instead of a list.
+            # q == len(wr) counts issues since the last barrier (or walk
+            # start while fill is None); the value the next issue
+            # consumes is fill (or the untouched pre-walk ring snapshot)
+            # while q < W, and the walk's own write at lag W after that.
+            # Every truncation check precedes the ref's effects, so hit
+            # effects commit inline — exactly the fused loop's order —
+            # with the counter bumps pooled into locals.
+            #
+            # Certainly-scalar events (directives, refs the current gate
+            # regime or caps exclude, misses) skip the walk setup — a
+            # walk that would break on its first event isn't worth
+            # starting.
+            # ----------------------------------------------------------
+            kd0 = kinds[i]
+            if kd0 == K_OPS:
+                # In an issue-burst regime (refs end the walk at once) a
+                # small-ops event would be a one-event walk — the scalar
+                # inline loop is cheaper.  Closed-form-sized batches are
+                # worth a walk in any regime.
+                walkable = refs_ok or f0[i] > 32
+            elif kd0 > K_OPS:
+                walkable = False  # directive
+            elif not refs_ok or cap <= 0:
+                walkable = False  # issue burst or epoch boundary due
+            elif mode_b:
+                # Blocked-gate stretches keep misses scalar (the miss
+                # path's MSHR traffic interleaves with the gate), so a
+                # miss-first walk would break immediately.
+                walkable = \
+                    l1_index.get(f1[i] & block_mask) is not None
+            else:
+                walkable = True
+            j = i
+            if walkable:
+                q = 0
+                wr = []
+                fill = None
+                clock_s = clock
+                stall_acc = 0.0
+                instr_acc = 0
+                wref_n = 0
+                hit_n = 0
+                miss_n = 0
+                poll_n = 0
+                useful_n = 0
+                loads_n = 0
+                stores_n = 0
+                limit_hit = False
+            while walkable and j < walk_end:
+                kd = kinds[j]
+                if kd <= K_STORE:
+                    if not refs_ok or wref_n >= cap:
+                        break
+                    block = f1[j] & block_mask
+                    line = l1_index.get(block)
+                    if line is None and mode_b:
+                        break
+                    if q < W:
+                        if fill is not None:
+                            e = fill
+                        else:
+                            p = head + q
+                            e = ring[p - W] if p >= W else ring[p]
+                    else:
+                        e = wr[q - W]
+                    now = clock_s if clock_s >= e else e
+                    if now >= nxt:
+                        break
+                    if mode_b and now > blocked_until:
+                        break
+                    if kd == K_STORE:
+                        stores_n += 1
+                    else:
+                        loads_n += 1
+                    seeded = False
+                    if line is not None:
+                        lines = l1_sets[
+                            (block >> l1_shift) & l1_set_mask]
+                        if lines[-1] is not line:
+                            lines.remove(line)
+                            lines.append(line)
+                        if not line.referenced:
+                            line.referenced = True
+                            useful_n += 1
+                        if kd == K_STORE:
+                            line.dirty = True
+                        hit_n += 1
+                        lat = l1_lat_f
+                    else:
+                        # Candidate-free stretches take the full miss
+                        # machinery inline: it reads/mutates only the
+                        # hierarchy (never the issue ring), and `now`
+                        # is already exact.  A miss may *seed* prefetch
+                        # candidates, changing the gate regime for the
+                        # refs after it — checked below.
+                        miss_n += 1
+                        if l1_shadow and \
+                                l1_shadow.pop(block, None) is not None:
+                            poll_n += 1
+                        ridx = f0[j]
+                        ready = miss_path(
+                            block, f1[j], now, kd == K_STORE,
+                            ref_names[ridx], hints[ridx],
+                        )
+                        lat = ready - now
+                        seeded = has_candidates is not None \
+                            and has_candidates()
+                    c = clock_s + inv
+                    if e > c:
+                        c = e
+                        s = c - clock_s - inv
+                        if s > 0.0:
+                            stall_acc += s
+                    clock_s = c
+                    wr.append(c + lat)
+                    q += 1
+                    wref_n += 1
+                    instr_acc += 1
+                    j += 1
+                    if wref_n >= limit_rem:
+                        limit_hit = True
+                        break
+                    if seeded:
+                        break
+                elif kd == K_OPS:
+                    cnt = f0[j]
+                    if cnt <= 32:
+                        for _ in range(cnt):
+                            if q < W:
+                                if fill is not None:
+                                    e = fill
+                                else:
+                                    p = head + q
+                                    e = ring[p - W] if p >= W \
+                                        else ring[p]
+                            else:
+                                e = wr[q - W]
+                            c = clock_s + inv
+                            if e > c:
+                                c = e
+                            clock_s = c
+                            wr.append(c + 1.0)
+                            q += 1
+                        instr_acc += cnt
+                        j += 1
+                    else:
+                        # Core._issue_ops' closed form, over the
+                        # consume-order sources: depth d of this batch
+                        # consumes index q + d, which is a uniform-fill
+                        # entry, an untouched pre-walk ring slot, or one
+                        # of the walk's own writes.  Uniform entries all
+                        # share one candidate (maximal at depth 0), so
+                        # only the min(cnt, W) tracked writes in range
+                        # need walking.
+                        base = clock_s
+                        newclock = base + cnt * inv
+                        hi = q + (cnt if cnt < W else W)
+                        if q < W:
+                            pend = W if hi > W else hi
+                            if fill is not None:
+                                if fill > base:
+                                    cand = fill + cnt * inv
+                                    if cand > newclock:
+                                        newclock = cand
+                            else:
+                                p = head + q
+                                if p >= W:
+                                    p -= W
+                                for idx in range(q, pend):
+                                    v = ring[p]
+                                    if v > base:
+                                        cand = v + (cnt - (idx - q)) * inv
+                                        if cand > newclock:
+                                            newclock = cand
+                                    p += 1
+                                    if p == W:
+                                        p = 0
+                            lo = W
+                        else:
+                            lo = q
+                        for idx in range(lo, hi):
+                            v = wr[idx - W]
+                            if v > base:
+                                cand = v + (cnt - (idx - q)) * inv
+                                if cand > newclock:
+                                    newclock = cand
+                        clock_s = newclock
+                        if cnt >= W:
+                            # Full refill: the whole ring becomes one
+                            # uniform value and tracking restarts.
+                            fill = newclock + 1.0
+                            wr = []
+                            q = 0
+                        else:
+                            # Partial refill: cnt uniform writes at the
+                            # next cnt consume positions.
+                            wr.extend([newclock + 1.0] * cnt)
+                            q += cnt
+                        instr_acc += cnt
+                        j += 1
+                else:
+                    break  # directive: messages the prefetch engine
+            consumed = j - i
+            if consumed:
+                if wref_n:
+                    l1_stats.demand_accesses += wref_n
+                    if hit_n:
+                        l1_stats.demand_hits += hit_n
+                    if miss_n:
+                        l1_stats.demand_misses += miss_n
+                    if poll_n:
+                        l1_stats.pollution_misses += poll_n
+                    if useful_n:
+                        l1_stats.useful_prefetches += useful_n
+                    if loads_n:
+                        hstats.loads += loads_n
+                    if stores_n:
+                        hstats.stores += stores_n
+                    if stall_acc > 0.0:
+                        load_stall += stall_acc
+                    if note_access is not None:
+                        adapt._accesses += wref_n
+                    if mode_b:
+                        gated_reclaim(controller)
+                    refs += wref_n
+                instructions += instr_acc
+                clock = clock_s
+                if fill is None:
+                    # Only the last min(q, W) writes survive; untouched
+                    # positions keep their pre-walk values.  wr[t] sits
+                    # at ring position (head + t) % W — two slices.
+                    t0 = q - W if q > W else 0
+                    cnt_w = q - t0
+                    a = (head + t0) % W
+                    first = W - a
+                    if first >= cnt_w:
+                        ring[a:a + cnt_w] = wr[t0:q]
+                    else:
+                        ring[a:] = wr[t0:t0 + first]
+                        ring[:cnt_w - first] = wr[t0 + first:q]
+                    head = (head + q) % W
+                else:
+                    # Post-barrier ring: head lands on q % W and wr[t]
+                    # sits at position t % W (the head offset and the
+                    # write offset cancel mod W); everything else is
+                    # the last barrier's uniform fill.
+                    head = q % W
+                    if q < W:
+                        ring[:q] = wr
+                        ring[q:] = [fill] * (W - q)
+                    else:
+                        s0 = q - W
+                        ring[head:] = wr[s0:q - head]
+                        ring[:head] = wr[q - head:q]
+                i = j
+                if sstats is not None:
+                    sstats["walk_events"] = \
+                        sstats.get("walk_events", 0) + consumed
+                    sstats["walk_refs"] = \
+                        sstats.get("walk_refs", 0) + wref_n
+                if limit_hit:
+                    break
+            if j >= n:
+                break
+
+            # ----------------------------------------------------------
+            # Scalar catch-up: one interesting event, replicating the
+            # fused loop's body operation for operation.
+            # ----------------------------------------------------------
+            kind = kinds[i]
+            if kind <= K_STORE:
+                is_store = kind == K_STORE
+                e = ring[head]
+                now = clock if clock >= e else e
+                if is_store:
+                    hstats.stores += 1
+                else:
+                    hstats.loads += 1
+                if has_candidates is not None and has_candidates():
+                    issue_prefetches(now)
+                if now >= series._next:
+                    metrics.tick(now)
+                block = f1[i] & block_mask
+                line = l1_index.get(block)
+                if line is not None:
+                    l1_stats.demand_accesses += 1
+                    lines = l1_sets[(block >> l1_shift) & l1_set_mask]
+                    if lines[-1] is not line:
+                        lines.remove(line)
+                        lines.append(line)
+                    if not line.referenced:
+                        line.referenced = True
+                        l1_stats.useful_prefetches += 1
+                    if is_store:
+                        line.dirty = True
+                    l1_stats.demand_hits += 1
+                    ready = now + l1_latency
+                else:
+                    l1_stats.demand_accesses += 1
+                    l1_stats.demand_misses += 1
+                    if l1_shadow and \
+                            l1_shadow.pop(block, None) is not None:
+                        l1_stats.pollution_misses += 1
+                    ridx = f0[i]
+                    ready = miss_path(
+                        block, f1[i], now, is_store,
+                        ref_names[ridx], hints[ridx],
+                    )
+                latency = ready - now
+                before = clock
+                c = clock + inv
+                if e > c:
+                    c = e
+                clock = c
+                ring[head] = c + latency
+                head += 1
+                if head == W:
+                    head = 0
+                instructions += 1
+                s = clock - before - inv
+                if s > 0.0:
+                    load_stall += s
+                refs += 1
+                if note_access is not None:
+                    note_access(clock)
+                if limit_refs is not None and refs >= limit_refs:
+                    break
+            elif kind == K_OPS:
+                count = f0[i]
+                if count <= 32:
+                    for _ in range(count):
+                        e = ring[head]
+                        clock = clock + inv
+                        if e > clock:
+                            clock = e
+                        ring[head] = clock + 1.0
+                        head += 1
+                        if head == W:
+                            head = 0
+                    instructions += count
+                else:
+                    core._clock = clock
+                    core._head = head
+                    core.instructions = instructions
+                    core._issue_ops(count)
+                    clock = core._clock
+                    head = core._head
+                    instructions = core.instructions
+            else:
+                event = _directive_event(kind, f0[i], f1[i], f2[i])
+                e = ring[head]
+                c = clock + inv
+                if e > c:
+                    c = e
+                clock = c
+                completion = c + 1.0
+                ring[head] = completion
+                head += 1
+                if head == W:
+                    head = 0
+                instructions += 1
+                hierarchy.directive(event, completion)
+            i += 1
+    finally:
+        core._clock = clock
+        core._head = head
+        core.instructions = instructions
+        core.load_stall_cycles = load_stall
+    return core.cycles

@@ -34,11 +34,19 @@ hint table into a list aligned with that table so replay does one list
 index instead of one dict lookup per reference.
 
 The on-disk form (:meth:`save`/:meth:`load`) is a small JSON header line
-followed by the raw column bytes; :mod:`repro.trace.store` keys such
-files by trace content identity.
+followed by the column bytes in an explicit little-endian fixed-width
+encoding (1-byte kinds, 8-byte fields), so files written on one machine
+load on any other — a big-endian host byteswaps on save and on load.
+:mod:`repro.trace.store` keys such files by trace content identity.
+
+:meth:`columns` exposes the same four columns as cached numpy views (plus
+derived index arrays) for the vectorized replay backend
+(:mod:`repro.sim.vectorized`); it returns None when numpy is unavailable,
+and nothing else in the trace layer depends on numpy.
 """
 
 import json
+import sys
 from array import array
 
 from repro.trace.events import (
@@ -59,17 +67,55 @@ K_BOUND = 3
 K_SETBASE = 4
 K_INDIRECT = 5
 
-#: Bumped whenever the columnar layout changes; part of the on-disk
-#: header, so stale files from older layouts read as cache misses.
-FORMAT_VERSION = 1
+#: Bumped whenever the columnar layout or the byte encoding changes; part
+#: of the on-disk header, so stale files from older layouts read as cache
+#: misses.  Version 2 switched the column bytes from host byte order to
+#: explicit little-endian.
+FORMAT_VERSION = 2
 
 _MAGIC = "repro-trace"
+
+#: On-disk element widths, independent of the host's array itemsizes.
+_KIND_WIDTH = 1
+_FIELD_WIDTH = 8
+
+#: True when this host stores integers big-endian and must byteswap
+#: between memory and the little-endian disk form.  Module-level so the
+#: cross-endian tests can exercise both paths on any host.
+_SWAP = sys.byteorder == "big"
+
+
+def _column_bytes(arr, width, swap):
+    """``arr``'s bytes in little-endian order, ``width`` bytes/element."""
+    if arr.itemsize != width:
+        raise ValueError(
+            "array itemsize %d does not match the %d-byte disk format"
+            % (arr.itemsize, width))
+    if swap and width > 1:
+        swapped = array(arr.typecode, arr)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return arr.tobytes()
+
+
+def _read_column(fh, typecode, count, width, swap):
+    """Read one little-endian column back into a host-order array."""
+    col = array(typecode)
+    if col.itemsize != width:
+        raise ValueError(
+            "array itemsize %d does not match the %d-byte disk format"
+            % (col.itemsize, width))
+    col.frombytes(fh.read(count * width))
+    if swap and width > 1:
+        col.byteswap()
+    return col
 
 
 class CompiledTrace:
     """One trace, lowered to parallel columns.  Immutable once built."""
 
-    __slots__ = ("kinds", "f0", "f1", "f2", "ref_names", "ref_count")
+    __slots__ = ("kinds", "f0", "f1", "f2", "ref_names", "ref_count",
+                 "_cols")
 
     def __init__(self, kinds, f0, f1, f2, ref_names, ref_count):
         self.kinds = kinds
@@ -79,6 +125,8 @@ class CompiledTrace:
         self.ref_names = ref_names
         #: Number of memory-reference events (loads + stores).
         self.ref_count = ref_count
+        #: Lazily-built :class:`TraceColumns` (numpy views), or None.
+        self._cols = None
 
     def __len__(self):
         return len(self.kinds)
@@ -164,14 +212,40 @@ class CompiledTrace:
             return [None] * len(self.ref_names)
         return [hint_table.get(name) for name in self.ref_names]
 
+    def columns(self):
+        """Cached :class:`TraceColumns` numpy views, or None without numpy.
+
+        The views are read-only aliases of the trace's own storage —
+        building them copies nothing — plus the event-index arrays the
+        vectorized backend's stretch segmentation needs.  Config-dependent
+        data (block masks, window-sized batch splits) stays out of the
+        cache; see :meth:`TraceColumns.hard_breaks`.
+        """
+        cols = self._cols
+        if cols is None:
+            if _np is None:
+                return None
+            cols = self._cols = TraceColumns(self)
+        return cols
+
     # ------------------------------------------------------------------
     # Disk form
     # ------------------------------------------------------------------
-    def save(self, path):
-        """Write the trace to ``path`` (header line + raw column bytes)."""
+    def save(self, path, _swap=None):
+        """Write the trace to ``path`` (header line + little-endian bytes).
+
+        The column bytes are written little-endian at fixed widths
+        regardless of the host (``_swap`` overrides the host-order probe
+        for the cross-endian tests), so the trace store's files are
+        portable across machines.
+        """
+        if _swap is None:
+            _swap = _SWAP
         header = {
             "magic": _MAGIC,
             "format": FORMAT_VERSION,
+            "endian": "little",
+            "widths": [_KIND_WIDTH, _FIELD_WIDTH],
             "events": len(self.kinds),
             "refs": self.ref_count,
             "ref_names": self.ref_names,
@@ -179,18 +253,22 @@ class CompiledTrace:
         with open(path, "wb") as fh:
             fh.write(json.dumps(header).encode("utf-8"))
             fh.write(b"\n")
-            fh.write(self.kinds.tobytes())
-            fh.write(self.f0.tobytes())
-            fh.write(self.f1.tobytes())
-            fh.write(self.f2.tobytes())
+            fh.write(_column_bytes(self.kinds, _KIND_WIDTH, _swap))
+            fh.write(_column_bytes(self.f0, _FIELD_WIDTH, _swap))
+            fh.write(_column_bytes(self.f1, _FIELD_WIDTH, _swap))
+            fh.write(_column_bytes(self.f2, _FIELD_WIDTH, _swap))
 
     @classmethod
-    def load(cls, path):
+    def load(cls, path, _swap=None):
         """Read a trace written by :meth:`save`.
 
         Raises ``ValueError`` on any malformed or stale-format file (the
-        trace store turns that into a cache miss).
+        trace store turns that into a cache miss).  A big-endian host
+        byteswaps the little-endian column bytes back to memory order
+        (``_swap`` overrides the probe for the cross-endian tests).
         """
+        if _swap is None:
+            _swap = _SWAP
         with open(path, "rb") as fh:
             header_line = fh.readline()
             header = json.loads(header_line.decode("utf-8"))
@@ -198,15 +276,86 @@ class CompiledTrace:
                 raise ValueError("not a compiled trace: %s" % path)
             if header.get("format") != FORMAT_VERSION:
                 raise ValueError("stale trace format in %s" % path)
+            if header.get("endian") != "little":
+                raise ValueError("unknown byte order in %s" % path)
+            if header.get("widths") != [_KIND_WIDTH, _FIELD_WIDTH]:
+                raise ValueError("unknown element widths in %s" % path)
             count = header["events"]
-            kinds = array("b")
-            kinds.frombytes(fh.read(count * kinds.itemsize))
-            columns = []
-            for _ in range(3):
-                col = array("q")
-                col.frombytes(fh.read(count * col.itemsize))
-                columns.append(col)
+            kinds = _read_column(fh, "b", count, _KIND_WIDTH, _swap)
+            columns = [
+                _read_column(fh, "q", count, _FIELD_WIDTH, _swap)
+                for _ in range(3)
+            ]
         if len(kinds) != count or any(len(c) != count for c in columns):
             raise ValueError("truncated compiled trace: %s" % path)
         return cls(kinds, columns[0], columns[1], columns[2],
                    header["ref_names"], header["refs"])
+
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+
+class TraceColumns:
+    """Numpy views + index arrays over one :class:`CompiledTrace`.
+
+    Everything here is config-independent (no block masks, no machine
+    geometry), so one instance is shared by every run replaying the trace.
+    The views alias the trace's ``array`` storage and are read-only.
+    """
+
+    __slots__ = ("kinds", "f0", "f1", "f2", "is_ref", "ref_pos", "dir_pos",
+                 "counts", "ecum", "_breaks", "_bars")
+
+    def __init__(self, trace):
+        self.kinds = _np.frombuffer(trace.kinds, dtype=_np.int8)
+        self.f0 = _np.frombuffer(trace.f0, dtype=_np.int64)
+        self.f1 = _np.frombuffer(trace.f1, dtype=_np.int64)
+        self.f2 = _np.frombuffer(trace.f2, dtype=_np.int64)
+        #: Per-event masks/indices for stretch segmentation.
+        self.is_ref = self.kinds <= K_STORE
+        self.ref_pos = _np.nonzero(self.is_ref)[0]
+        self.dir_pos = _np.nonzero(self.kinds >= K_BOUND)[0]
+        #: Elementary instruction issues per event (Ops expand to their
+        #: count; refs and directives issue one instruction each).
+        self.counts = _np.where(self.kinds == K_OPS, self.f0, 1)
+        #: Prefix sum of ``counts`` with a leading 0: the elementary-issue
+        #: offset of event ``i`` is ``ecum[i]``.
+        self.ecum = _np.concatenate(
+            (_np.zeros(1, dtype=_np.int64), _np.cumsum(self.counts)))
+        self._breaks = {}
+        self._bars = {}
+
+    def hard_breaks(self, window):
+        """Sorted event positions a batched stretch can never cross.
+
+        Directives (they message the prefetch engine) and Ops batches in
+        the awkward ``32 < count < window`` band (they refill only part of
+        the issue ring, so the ring state after them is not a closed
+        form).  Cached per window size.
+        """
+        breaks = self._breaks.get(window)
+        if breaks is None:
+            partial = (self.kinds == K_OPS) & (self.f0 > 32) \
+                & (self.f0 < window)
+            breaks = _np.union1d(self.dir_pos, _np.nonzero(partial)[0])
+            self._breaks[window] = breaks
+        return breaks
+
+    def barriers(self, window):
+        """Sorted positions of full-ring-reset Ops batches.
+
+        An Ops batch of at least ``window`` instructions refills the whole
+        issue ring with one value (see ``Core._issue_ops``), so the ring
+        state after it is a closed form a batched stretch can carry
+        through.  Cached per window size.
+        """
+        bars = self._bars.get(window)
+        if bars is None:
+            mask = (self.kinds == K_OPS) & (self.f0 >= window) \
+                & (self.f0 > 32)
+            bars = _np.nonzero(mask)[0]
+            self._bars[window] = bars
+        return bars

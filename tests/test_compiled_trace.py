@@ -15,6 +15,8 @@ Three layers of guarantees, matching DESIGN.md's equivalence contract:
 """
 
 import json
+import struct
+from array import array
 
 import pytest
 
@@ -128,6 +130,55 @@ class TestDiskForm:
         path.write_bytes(data[: len(data) // 2])
         with pytest.raises(ValueError):
             CompiledTrace.load(str(path))
+
+
+class TestCrossEndian:
+    """The disk form is canonically little-endian on every host.
+
+    These tests drive the ``_swap`` override through both byteswap paths
+    on any host: a simulated big-endian writer/reader must interoperate
+    losslessly with the canonical file, and the canonical bytes must
+    match an explicit ``struct.pack('<q')`` encoding — so a trace saved
+    on one architecture always loads on any other.
+    """
+
+    def trace(self):
+        return build_interpreter("swim", hinted=False).run_columns(LIMIT)
+
+    def test_canonical_file_is_little_endian(self, tmp_path):
+        addr = 0x0102030405060708  # asymmetric: byte order is visible
+        trace = CompiledTrace.from_events([MemRef("a", addr, 8)])
+        path = tmp_path / "le.trace"
+        trace.save(str(path), _swap=False)
+        header_line, _, body = path.read_bytes().partition(b"\n")
+        assert json.loads(header_line)["endian"] == "little"
+        n = len(trace.kinds)
+        assert body == (
+            trace.kinds.tobytes()
+            + struct.pack("<%dq" % n, *trace.f0)
+            + struct.pack("<%dq" % n, *trace.f1)
+            + struct.pack("<%dq" % n, *trace.f2))
+
+    def test_simulated_big_endian_round_trip(self, tmp_path):
+        """Both byteswap paths (save and load) compose to the identity."""
+        trace = self.trace()
+        path = tmp_path / "be-host.trace"
+        trace.save(str(path), _swap=True)
+        assert_traces_equal(CompiledTrace.load(str(path), _swap=True), trace)
+
+    def test_swap_changes_wire_bytes_exactly_once(self, tmp_path):
+        """A big-endian writer's byteswap is real, and the load-side swap
+        is exactly its inverse: reading its output *without* swapping
+        yields the byteswapped field values, not the originals."""
+        trace = self.trace()
+        path = tmp_path / "be-wire.trace"
+        trace.save(str(path), _swap=True)
+        raw = CompiledTrace.load(str(path), _swap=False)
+        assert raw.kinds == trace.kinds  # 1-byte column: order-invariant
+        swapped = array("q", trace.f1)
+        swapped.byteswap()
+        assert raw.f1 == swapped
+        assert raw.f1 != trace.f1
 
 
 class TestTraceStore:

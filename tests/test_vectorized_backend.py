@@ -1,0 +1,217 @@
+"""Vectorized replay backend: dispatch, equivalence, fallback, caching.
+
+Four layers of guarantees for ``repro.sim.vectorized``:
+
+* **dispatch** — ``resolve_backend`` honours the spec's pin, then
+  ``REPRO_BACKEND``, then auto-detection, and rejects unknown names;
+* **equivalence** — the vectorized backend's ``RunResult.to_dict()`` is
+  byte-identical to the fused loop's for every workload across the
+  scheme families it batches differently (no prefetcher, hardware-only
+  SRP, hint-guided GRP, and the adaptive gate machinery), plus seeded
+  synthetic traces engineered to drive the numpy recurrence engine
+  (long barrier-free stretches) that the real workloads' barrier
+  density rarely exposes;
+* **fallback** — with numpy unavailable the backend reports itself
+  unavailable, auto-dispatch picks the fused loop, and even an
+  explicitly pinned ``backend="vectorized"`` degrades gracefully to
+  fused with identical results;
+* **caching** — pinned backends are part of the RunSpec digest (results
+  from different backends can never alias in the persistent cache) and
+  the 1.6.0 version-salt bump invalidates every pre-backend entry.
+"""
+
+import json
+
+import pytest
+
+from repro.mem.space import AddressSpace
+from repro.sim import vectorized
+from repro.sim.cache import version_salt
+from repro.sim.config import MachineConfig
+from repro.sim.runner import resolve_backend, run_workload
+from repro.sim.simulator import Simulator
+from repro.sim.spec import RunSpec
+from repro.trace.compiled import CompiledTrace
+from repro.trace.events import MemRef, Ops
+from repro.workloads import workload_names
+
+needs_numpy = pytest.mark.skipif(not vectorized.available(),
+                                 reason="numpy unavailable")
+
+LIMIT = 1200
+
+#: One scheme per batching regime: no prefetcher (pure walker + numpy
+#: engine), hardware-only SRP (mode-B gated stretches), hint-guided GRP
+#: (directive events break walks), and the adaptive throttle (epoch
+#: ticks interleave with the gate machinery).
+SCHEMES_UNDER_TEST = ("none", "srp", "grp", "srp-adaptive")
+
+
+def result_json(workload, scheme, backend, limit=LIMIT):
+    stats = run_workload(workload, scheme, limit_refs=limit, backend=backend)
+    return json.dumps(stats.to_dict(), sort_keys=True)
+
+
+class TestDispatch:
+    def test_explicit_names_pass_through(self):
+        assert resolve_backend("fused") == "fused"
+
+    @needs_numpy
+    def test_auto_prefers_vectorized_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend("auto") == "vectorized"
+
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fused")
+        assert resolve_backend("auto") == "fused"
+
+    def test_spec_pin_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fused")
+        if vectorized.available():
+            assert resolve_backend("vectorized") == "vectorized"
+        else:
+            assert resolve_backend("fused") == "fused"
+
+    def test_unknown_env_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "turbo")
+        with pytest.raises(ValueError):
+            resolve_backend("auto")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("turbo")
+        with pytest.raises(ValueError):
+            RunSpec.create("mcf", "none", backend="turbo")
+
+    def test_simulator_rejects_unknown_backend(self):
+        sim = Simulator(MachineConfig.scaled(), AddressSpace(), None)
+        trace = CompiledTrace.from_events([MemRef("r", 1 << 20, 8)])
+        with pytest.raises(ValueError):
+            sim.run_compiled(trace, backend="turbo")
+
+
+@needs_numpy
+class TestDifferentialMatrix:
+    """Byte-identical vectorized-vs-fused across the full workload set."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES_UNDER_TEST)
+    @pytest.mark.parametrize("workload", workload_names())
+    def test_byte_identical(self, workload, scheme):
+        assert result_json(workload, scheme, "vectorized") \
+            == result_json(workload, scheme, "fused")
+
+
+def synthetic_trace(seed, nrefs=4000, blocks=64, ops_every=3, ops_count=2,
+                    barrier_every=None):
+    """A seeded synthetic trace with long barrier-free hit stretches.
+
+    After warming ``blocks`` lines the reference stream hits the same
+    working set with a pseudo-random pattern, interleaving small ALU
+    bursts — exactly the regime the numpy recurrence engine batches.
+    ``barrier_every`` (refs) splices in window-sized Ops barriers to
+    force walker/engine regime changes at seeded positions.
+    """
+    import random
+    rng = random.Random(seed)
+    base = 1 << 20
+    events = [MemRef("warm", base + 64 * b, 8) for b in range(blocks)]
+    for i in range(nrefs):
+        block = rng.randrange(blocks)
+        store = rng.random() < 0.25
+        events.append(MemRef("r%d" % (i % 7), base + 64 * block, 8,
+                             is_store=store))
+        if ops_every and i % ops_every == 0:
+            events.append(Ops(ops_count))
+        if barrier_every and i % barrier_every == barrier_every - 1:
+            events.append(Ops(256))
+    return CompiledTrace.from_events(events)
+
+
+def run_synthetic(trace, backend, span_stats=None):
+    sim = Simulator(MachineConfig.scaled(), AddressSpace(), None)
+    vectorized.span_stats = span_stats
+    try:
+        result = sim.run_compiled(trace, backend=backend)
+    finally:
+        vectorized.span_stats = None
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@needs_numpy
+class TestSyntheticFuzz:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seeded_streams_byte_identical(self, seed):
+        trace = synthetic_trace(seed)
+        assert run_synthetic(trace, "vectorized") \
+            == run_synthetic(trace, "fused")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_barriered_streams_byte_identical(self, seed):
+        trace = synthetic_trace(seed, nrefs=2500, barrier_every=97 + seed)
+        assert run_synthetic(trace, "vectorized") \
+            == run_synthetic(trace, "fused")
+
+    def test_numpy_engine_actually_engages(self):
+        """The fuzz regime must exercise the recurrence engine, not just
+        the scalar walker — otherwise the batch math is untested."""
+        stats = {}
+        run_synthetic(synthetic_trace(0, nrefs=20000), "vectorized",
+                      span_stats=stats)
+        assert stats["np_spans"] > 0
+        assert stats["np_refs"] > 0
+        assert stats["np_events"] + stats["walk_events"] \
+            <= stats["events_total"]
+
+
+class TestNoNumpyFallback:
+    def fused_only(self, monkeypatch):
+        monkeypatch.setattr(vectorized, "_np", None)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+
+    def test_unavailable_without_numpy(self, monkeypatch):
+        self.fused_only(monkeypatch)
+        assert not vectorized.available()
+
+    def test_auto_resolves_to_fused(self, monkeypatch):
+        self.fused_only(monkeypatch)
+        assert resolve_backend("auto") == "fused"
+
+    def test_pinned_vectorized_degrades_to_fused(self, monkeypatch):
+        """An explicit vectorized pin on a numpy-less host still runs —
+        the core falls back to the fused loop with identical results."""
+        baseline = result_json("mcf", "srp", "fused", limit=400)
+        self.fused_only(monkeypatch)
+        assert result_json("mcf", "srp", "vectorized", limit=400) == baseline
+
+    def test_supports_false_without_numpy(self, monkeypatch):
+        self.fused_only(monkeypatch)
+
+        class Core:
+            pass
+
+        assert not vectorized.supports(Core())
+
+
+class TestDigestSensitivity:
+    def spec(self, backend):
+        return RunSpec.create("mcf", "srp", limit_refs=LIMIT,
+                              backend=backend)
+
+    def test_pinned_backends_never_alias(self):
+        salt = version_salt()
+        digests = {self.spec(b).digest(salt)
+                   for b in ("auto", "fused", "vectorized")}
+        assert len(digests) == 3
+
+    def test_version_salt_invalidates_prebackend_entries(self):
+        assert "1.6.0" in version_salt()
+        spec = self.spec("auto")
+        assert spec.digest(version_salt()) != spec.digest("repro-1.5.0")
+
+    def test_backend_round_trips_and_rejects_unknown(self):
+        spec = self.spec("vectorized")
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        payload = dict(spec.to_dict())
+        payload["backend"] = "turbo"
+        with pytest.raises(ValueError):
+            RunSpec.from_dict(payload)

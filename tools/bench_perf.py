@@ -1,26 +1,36 @@
-"""Performance benchmark harness: cold-cache refs/sec per scheme.
+"""Performance benchmark harness: sim-phase refs/sec per scheme and backend.
 
-Measures the optimized simulation pipeline (compiled traces + fused
-simulate loop + hierarchy fast paths) against the ``reference=True`` slow
-path on a small scheme x workload matrix, cold-cache (the in-process
-trace/build caches are cleared before every timed run and disk
-persistence is disabled), and records the results in ``BENCH_perf.json``
-at the repository root.
+Measures the replay backends (the fused loop and, when numpy is
+available, the vectorized batch-replay backend) against the
+``reference=True`` slow path on a small scheme x workload matrix and
+records the results in ``BENCH_perf.json`` at the repository root.
 
-Per case the file records CPU seconds, refs/sec, and the optimized-path
-speedup over the reference path.  The speedup ratio is the number CI
-gates on: absolute refs/sec varies with the host, but the fast/slow
-ratio on the same interpreter is stable, so a >30% drop against the
-committed ratio means a real fast-path regression.
+Schema version 2 times the **simulation phase only**: the workload
+build, hint compilation, and trace generation happen once per case
+outside the timer, and each timed run replays the same prebuilt
+compiled trace through a fresh simulator.  (Version 1 timed the whole
+pipeline cold, which buried backend differences under trace-generation
+cost and let a large replay regression hide inside the build noise.)
+Each case row carries a ``backend`` column, so the fused and vectorized
+paths are gated independently.
+
+Per case the file records CPU seconds, refs/sec, the speedup over the
+reference path, and an absolute ``refs_per_s_floor`` (a quarter of the
+measured rate).  CI's smoke mode gates on **both** signals: the
+fast/slow ratio (host-independent; a >30% drop means a real fast-path
+regression) and the conservative absolute floor (catches the failure
+the ratio alone misses — the fast and slow paths regressing together).
 
 Modes::
 
     PYTHONPATH=src python tools/bench_perf.py            # full matrix, rewrites BENCH_perf.json
-    PYTHONPATH=src python tools/bench_perf.py --smoke    # tiny matrix, schema + regression gate
+    PYTHONPATH=src python tools/bench_perf.py --smoke    # tiny matrix, schema + regression gates
     PYTHONPATH=src python tools/bench_perf.py --check    # schema validation only, no measurement
 
 ``--smoke`` and ``--check`` never write the file; both exit nonzero on a
-schema violation, ``--smoke`` also on a >30% speedup regression.
+schema violation, ``--smoke`` also on a gate failure.  Smoke measures
+every backend the host supports (the no-numpy CI job simply has no
+vectorized rows to gate).
 
 The full mode additionally re-measures the end-to-end table1 sweep
 (``python -m repro.experiments table1 --refs 3000 --no-cache --jobs 1``)
@@ -42,14 +52,21 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 os.environ.setdefault("REPRO_TRACE_CACHE", "off")
 
-from repro.sim import runner  # noqa: E402
-from repro.sim.runner import execute  # noqa: E402
-from repro.sim.spec import RunSpec  # noqa: E402
+from repro.compiler.driver import compile_hints  # noqa: E402
+from repro.sim import runner, vectorized  # noqa: E402
+from repro.sim.config import MachineConfig  # noqa: E402
+from repro.sim.simulator import Simulator  # noqa: E402
+from repro.trace.interp import Interpreter  # noqa: E402
 from repro.trace.store import default_store  # noqa: E402
+from repro.workloads.base import get_workload  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 OUT_NAME = "BENCH_perf.json"
 REGRESSION_TOLERANCE = 0.30
+#: The committed absolute floor is this fraction of the measured rate —
+#: loose enough for a CI host several times slower than the recording
+#: host, tight enough to catch order-of-magnitude replay regressions.
+FLOOR_FRACTION = 0.25
 
 FULL_MATRIX = [
     ("ammp", "none"), ("ammp", "srp"), ("ammp", "grp"),
@@ -62,9 +79,10 @@ SMOKE_MATRIX = [("mcf", "srp"), ("swim", "grp"), ("mcf", "srp-adaptive")]
 
 #: Multi-core co-run cases: (workload list, scheme).  Co-runs have a
 #: single implementation (the stepped shared-memory loop — there is no
-#: separate reference path), so their ``speedup_vs_reference`` is
-#: definitionally 1.0 and the value of the case is the recorded refs/sec
-#: plus smoke-mode coverage of the co-run pipeline.
+#: separate reference path or backend choice), so their
+#: ``speedup_vs_reference`` is definitionally 1.0 and the value of the
+#: case is the recorded refs/sec plus smoke-mode coverage of the co-run
+#: pipeline.  Co-run timing stays end-to-end (cold, build included).
 CORUN_MATRIX = [(["mcf", "swim"], "srp")]
 CORUN_SMOKE = [(["mcf", "swim"], "srp")]
 
@@ -74,37 +92,114 @@ TABLE1_CMD = [
 ]
 
 
+def host_backends():
+    """Replay backends measurable on this host, fused first."""
+    backends = ["fused"]
+    if vectorized.available():
+        backends.append("vectorized")
+    return backends
+
+
 def _cold():
     """Drop every in-process cache so the next run pays full cost."""
     default_store().clear_memory()
     runner._BUILD_CACHE.clear()
 
 
-def _time_run(spec, reference, repeats):
-    """Best-of-``repeats`` CPU seconds for one cold execution of ``spec``."""
+def _prepare(workload_name, scheme, refs):
+    """Build everything up to the replay, once: space, hints, trace.
+
+    Returns the prebuilt pieces every timed run shares.  The address
+    space is read-only during simulation and the compiled trace is
+    immutable, so reuse across timed runs is safe.
+    """
+    workload = get_workload(workload_name)
+    scheme_spec = runner.SCHEMES[scheme]
+    config = MachineConfig.scaled()
+    space, built, program = runner._built_workload(workload, 1.0, True)
+    if scheme_spec.hinted:
+        result = compile_hints(
+            program, l2_size=config.l2_size, block_size=config.block_size,
+            policy="default",
+            variable_regions=scheme_spec.variable_regions,
+            indirect_mode=scheme_spec.indirect_mode,
+        )
+        hint_table = result.hint_table
+    else:
+        result = None
+        hint_table = None
+
+    def build_interp():
+        interp = Interpreter(program, space, result, seed=12345,
+                             block_size=config.block_size,
+                             ops_scale=workload.ops_scale)
+        for name, addr in built.pointer_bindings.items():
+            interp.bind_pointer(name, addr)
+        return interp
+
+    trace = build_interp().run_columns(refs)
+    return {
+        "scheme_spec": scheme_spec, "config": config, "space": space,
+        "result": result, "hint_table": hint_table,
+        "build_interp": build_interp, "trace": trace,
+    }
+
+
+def _fresh_sim(prep, reference=False):
+    return Simulator(prep["config"], prep["space"],
+                     prep["scheme_spec"].factory(prep["result"]),
+                     hint_table=prep["hint_table"], reference=reference)
+
+
+def _time_backend(prep, backend, repeats):
+    """Best-of-``repeats`` CPU seconds replaying the prebuilt trace."""
     best = float("inf")
     for _ in range(repeats):
-        _cold()
+        sim = _fresh_sim(prep)
         start = time.process_time()
-        execute(spec, reference=reference)
+        sim.run_compiled(prep["trace"], backend=backend)
         best = min(best, time.process_time() - start)
     return best
 
 
-def measure_case(workload, scheme, refs, repeats):
-    spec = RunSpec.create(workload, scheme, limit_refs=refs)
-    fast = _time_run(spec, reference=False, repeats=repeats)
-    slow = _time_run(spec, reference=True, repeats=repeats)
-    return {
-        "workload": workload,
-        "scheme": scheme,
-        "refs": refs,
-        "optimized": {"cpu_s": round(fast, 4),
-                      "refs_per_s": round(refs / fast, 1)},
-        "reference": {"cpu_s": round(slow, 4),
-                      "refs_per_s": round(refs / slow, 1)},
-        "speedup_vs_reference": round(slow / fast, 3),
-    }
+def _time_reference(prep, refs, repeats):
+    """Best-of-``repeats`` CPU seconds for the slow path's replay.
+
+    The reference path has no compiled trace — interpretation feeds the
+    simulator directly — so its sim phase is the generator-driven run
+    (interpretation included; that *is* the slow path's replay cost).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        sim = _fresh_sim(prep, reference=True)
+        interp = prep["build_interp"]()
+        start = time.process_time()
+        sim.run(interp.run(limit=refs))
+        best = min(best, time.process_time() - start)
+    return best
+
+
+def measure_case(workload, scheme, refs, repeats, backends):
+    """One case row per backend, sharing one build and one reference run."""
+    prep = _prepare(workload, scheme, refs)
+    slow = _time_reference(prep, refs, repeats)
+    cases = []
+    for backend in backends:
+        fast = _time_backend(prep, backend, repeats)
+        rate = refs / fast
+        cases.append({
+            "workload": workload,
+            "scheme": scheme,
+            "backend": backend,
+            "refs": refs,
+            "sim": {"cpu_s": round(fast, 4),
+                    "refs_per_s": round(rate, 1)},
+            "reference": {"cpu_s": round(slow, 4),
+                          "refs_per_s": round(refs / slow, 1)},
+            "speedup_vs_reference": round(slow / fast, 3),
+            "refs_per_s_floor": int(rate * FLOOR_FRACTION),
+        })
+    return cases
 
 
 def measure_corun_case(workloads, scheme, refs, repeats):
@@ -120,16 +215,18 @@ def measure_corun_case(workloads, scheme, refs, repeats):
         execute_corun(spec, solo_baseline=False)
         best = min(best, time.process_time() - start)
     total_refs = refs * len(workloads)
-    timing = {"cpu_s": round(best, 4),
-              "refs_per_s": round(total_refs / best, 1)}
+    rate = total_refs / best
+    timing = {"cpu_s": round(best, 4), "refs_per_s": round(rate, 1)}
     return {
         "workload": "+".join(workloads),
         "scheme": scheme,
+        "backend": "fused",
         "refs": refs,
         "cores": len(workloads),
-        "optimized": timing,
+        "sim": timing,
         "reference": dict(timing),
         "speedup_vs_reference": 1.0,
+        "refs_per_s_floor": int(rate * FLOOR_FRACTION),
     }
 
 
@@ -178,9 +275,13 @@ def validate(doc):
         need(case, "scheme", str, where)
         need(case, "refs", int, where)
         need(case, "speedup_vs_reference", (int, float), where)
+        need(case, "refs_per_s_floor", int, where)
+        backend = need(case, "backend", str, where)
+        if backend is not None and backend not in ("fused", "vectorized"):
+            errors.append("%s.backend unknown: %r" % (where, backend))
         if "cores" in case:  # optional: multi-core co-run cases only
             need(case, "cores", int, where)
-        for side in ("optimized", "reference"):
+        for side in ("sim", "reference"):
             timing = case.get(side)
             if not isinstance(timing, dict):
                 errors.append("%s.%s missing" % (where, side))
@@ -198,23 +299,43 @@ def validate(doc):
 
 
 def check_regressions(committed, measured):
-    """Compare measured speedups against the committed baselines."""
+    """Gate measured cases against the committed baselines.
+
+    Two independent checks per (workload, scheme, backend): the fast/slow
+    speedup ratio must stay within ``REGRESSION_TOLERANCE`` of the
+    committed ratio, and the absolute sim-phase refs/sec must stay above
+    the committed ``refs_per_s_floor``.  The ratio catches fast-path
+    regressions independent of host speed; the floor catches the case
+    the ratio is blind to — both paths slowing down together.
+    """
     failures = []
-    by_case = {(c["workload"], c["scheme"]): c for c in committed["cases"]}
+    by_case = {(c["workload"], c["scheme"], c["backend"]): c
+               for c in committed["cases"]}
     for case in measured:
-        baseline = by_case.get((case["workload"], case["scheme"]))
+        key = (case["workload"], case["scheme"], case["backend"])
+        baseline = by_case.get(key)
         if baseline is None:
             continue
-        floor = baseline["speedup_vs_reference"] * (1 - REGRESSION_TOLERANCE)
-        got = case["speedup_vs_reference"]
-        tag = "%s/%s" % (case["workload"], case["scheme"])
-        if got < floor:
+        tag = "%s/%s/%s" % key
+        ratio_floor = (baseline["speedup_vs_reference"]
+                       * (1 - REGRESSION_TOLERANCE))
+        got_ratio = case["speedup_vs_reference"]
+        abs_floor = baseline["refs_per_s_floor"]
+        got_rate = case["sim"]["refs_per_s"]
+        if got_ratio < ratio_floor:
             failures.append(
                 "%s: speedup %.2fx below floor %.2fx (committed %.2fx)"
-                % (tag, got, floor, baseline["speedup_vs_reference"]))
+                % (tag, got_ratio, ratio_floor,
+                   baseline["speedup_vs_reference"]))
+        elif got_rate < abs_floor:
+            failures.append(
+                "%s: %.0f refs/s below the absolute floor %d"
+                % (tag, got_rate, abs_floor))
         else:
-            print("  %-12s %.2fx (committed %.2fx, floor %.2fx) ok"
-                  % (tag, got, baseline["speedup_vs_reference"], floor))
+            print("  %-24s %.2fx (committed %.2fx)  %8.0f refs/s"
+                  " (floor %d) ok"
+                  % (tag, got_ratio, baseline["speedup_vs_reference"],
+                     got_rate, abs_floor))
     return failures
 
 
@@ -265,23 +386,33 @@ def main(argv=None):
         if args.check:
             return 0
 
+    backends = host_backends()
+    if "vectorized" not in backends:
+        if args.smoke:
+            print("note: numpy unavailable — gating fused rows only")
+        else:
+            print("error: the full matrix records both backends; "
+                  "numpy is required")
+            return 1
+
     matrix = SMOKE_MATRIX if args.smoke else FULL_MATRIX
     refs = min(args.refs, 1500) if args.smoke else args.refs
     repeats = 2 if args.smoke else args.repeats
     cases = []
     for workload, scheme in matrix:
-        case = measure_case(workload, scheme, refs, repeats)
-        print("%-6s %-8s optimized %8.0f refs/s   reference %8.0f refs/s"
-              "   speedup %.2fx"
-              % (workload, scheme, case["optimized"]["refs_per_s"],
-                 case["reference"]["refs_per_s"],
-                 case["speedup_vs_reference"]))
-        cases.append(case)
+        for case in measure_case(workload, scheme, refs, repeats, backends):
+            print("%-6s %-13s %-10s sim %8.0f refs/s   reference %7.0f"
+                  " refs/s   speedup %.2fx"
+                  % (workload, scheme, case["backend"],
+                     case["sim"]["refs_per_s"],
+                     case["reference"]["refs_per_s"],
+                     case["speedup_vs_reference"]))
+            cases.append(case)
     for workloads, scheme in (CORUN_SMOKE if args.smoke else CORUN_MATRIX):
         case = measure_corun_case(workloads, scheme, refs, repeats)
-        print("%-6s %-8s co-run    %8.0f refs/s   (%d cores, shared L2)"
+        print("%-6s %-13s co-run     %8.0f refs/s   (%d cores, shared L2)"
               % (case["workload"], scheme,
-                 case["optimized"]["refs_per_s"], case["cores"]))
+                 case["sim"]["refs_per_s"], case["cores"]))
         cases.append(case)
 
     if args.smoke:
@@ -291,7 +422,7 @@ def main(argv=None):
             for failure in failures:
                 print("  - " + failure)
             return 1
-        print("regression gate ok (tolerance %d%%)"
+        print("regression gates ok (ratio tolerance %d%%, absolute floors)"
               % int(REGRESSION_TOLERANCE * 100))
         return 0
 
