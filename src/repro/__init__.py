@@ -40,7 +40,7 @@ from repro.sim.supervisor import SweepAborted, SweepSupervisor
 # little-endian trace format.  The bump salts ResultCache digests, so
 # entries written by earlier builds (whose specs had no backend field)
 # can never alias results produced under the new dispatch.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CoRunResult", "CoRunSpec", "FaultPlan", "MachineConfig", "ResultCache",

@@ -15,8 +15,10 @@ tables:
   feedback throttle senses shared-channel pressure and backs off, so it
   should contain co-run slowdown better than statically-aggressive SRP.
 
-Co-runs replay on the stepped reference loop (much slower per reference
-than the solo fast path), so this module caps trace length at
+Co-runs replay on the fused skip-ahead backend by default (byte-
+identical to the stepped reference loop; see
+:mod:`repro.sim.multicore_fused`), but N cores still cost roughly N
+solo runs of simulation work, so this module caps trace length at
 :data:`CORUN_REFS` references per core regardless of ``--refs``.
 """
 

@@ -12,8 +12,6 @@ hits — while the per-set lists, at most ``assoc`` (2 or 4) entries long,
 keep the replacement order obvious.
 """
 
-from collections import OrderedDict
-
 from repro.mem.layout import is_power_of_two
 
 
@@ -168,8 +166,11 @@ class Cache:
         #: recently evicted *by a prefetch fill*.  A demand miss that hits
         #: this set is a pollution miss — the prefetch displaced data the
         #: program still needed.  Bounded to one full tag array's worth of
-        #: entries (FIFO), like a hardware shadow-tag structure.
-        self._shadow = OrderedDict()
+        #: entries (FIFO), like a hardware shadow-tag structure.  A
+        #: plain insertion-ordered dict: re-shadowing a still-present
+        #: block keeps its queue position (exactly as before), and the
+        #: FIFO drop removes the oldest key — first in iteration order.
+        self._shadow = {}
         self._shadow_capacity = self.num_sets * assoc
         #: Optional observer with ``on_fill(cache, block, prefetched)``,
         #: ``on_evict(cache, block, prefetched, referenced, by_prefetch)``,
@@ -323,7 +324,7 @@ class Cache:
                 stats.prefetch_evictions += 1
                 shadow[victim.block] = active
                 if len(shadow) > self._shadow_capacity:
-                    shadow.popitem(last=False)
+                    del shadow[next(iter(shadow))]  # FIFO: oldest entry
                 if core_stats is not None:
                     core_stats[active].prefetch_evictions += 1
             if core_stats is not None:
@@ -379,6 +380,7 @@ class Cache:
         shadow = self._shadow
         lines = self._sets[(block >> self._block_shift) & self._set_mask]
         writeback = None
+        victim = None
         if len(lines) >= self.assoc:
             victim = lines.pop(0)  # LRU
             del index[victim.block]
@@ -389,7 +391,7 @@ class Cache:
             stats.prefetch_evictions += 1
             shadow[victim.block] = active
             if len(shadow) > self._shadow_capacity:
-                shadow.popitem(last=False)
+                del shadow[next(iter(shadow))]  # FIFO: oldest entry
             if core_stats is not None:
                 core_stats[active].prefetch_evictions += 1
                 if victim.dirty:
@@ -405,7 +407,20 @@ class Cache:
                                        victim.referenced, True)
         if shadow:
             shadow.pop(block, None)
-        line = CacheLine(block, prefetched=True, owner=active)
+        if victim is not None:
+            # Recycle the evicted line object: nothing holds a reference
+            # to it once it leaves the set list and the tag index (the
+            # shadow stores the block address, the observer got scalars),
+            # so resetting its fields replaces an allocation per fill on
+            # the hottest path of prefetch-heavy schemes.
+            line = victim
+            line.block = block
+            line.dirty = False
+            line.prefetched = True
+            line.referenced = False
+            line.owner = active
+        else:
+            line = CacheLine(block, prefetched=True, owner=active)
         depth = self.prefetch_insert_depth
         if depth >= len(lines):
             lines.append(line)  # MRU

@@ -211,105 +211,117 @@ class MemoryController:
             mshr_capacity = mshrs.num_entries
             if mshrs.core_stats is not None:
                 mshr_core = mshrs.core_stats[core_id]
+        # Loop-invariant reads and counters, hoisted to locals: nothing in
+        # the issue loop writes ``demand_busy_until`` (only demand fetches
+        # move it, and none can occur mid-loop), and the two hot counters
+        # are written back once on every exit path.
+        demand_busy = self.demand_busy_until
+        n_issued = self.prefetches_issued
+        n_dropped = self.prefetches_dropped_resident
         issued = 0
-        while issued < budget:
-            request = pop_candidate(now, dram)
-            if request is None:
-                break
-            block = request.block
-            if (block in resident_map) if resident_map is not None \
-                    else (is_resident is not None and is_resident(block)):
-                self.prefetches_dropped_resident += 1
-                if metrics is not None:
-                    metrics.on_prefetch_dropped(request, now)
-                prefetcher.on_candidate_dropped(request)
-                continue
-            nblk = block >> blk_shift
-            ch = nblk % n_channels
-            # max(queued_at, channel_free_at): first argument wins ties.
-            earliest = request.queued_at
-            free = channel_free[ch]
-            if free > earliest:
-                earliest = free
-            # No prefetch while a demand miss is outstanding.
-            if self.demand_busy_until > earliest:
-                earliest = self.demand_busy_until
+        try:
+            while issued < budget:
+                request = pop_candidate(now, dram)
+                if request is None:
+                    break
+                block = request.block
+                if (block in resident_map) if resident_map is not None \
+                        else (is_resident is not None and is_resident(block)):
+                    n_dropped += 1
+                    if metrics is not None:
+                        metrics.on_prefetch_dropped(request, now)
+                    prefetcher.on_candidate_dropped(request)
+                    continue
+                nblk = block >> blk_shift
+                ch = nblk % n_channels
+                # max(queued_at, channel_free_at): first argument wins ties.
+                earliest = request.queued_at
+                free = channel_free[ch]
+                if free > earliest:
+                    earliest = free
+                # No prefetch while a demand miss is outstanding.
+                if demand_busy > earliest:
+                    earliest = demand_busy
             # The bound so far is monotone in simulation state; the MSHR
             # adjustment below is not (see the blocked-issue cache notes).
-            monotone_earliest = earliest
-            if mshrs is not None:
-                # MSHRFile.earliest_free(earliest), inlined (no stall
-                # recording on the speculative prefetch probe).
-                if earliest >= mshrs._min_ready:
-                    mshrs._reclaim(earliest)
-                if len(mshr_inflight) >= mshr_capacity:
-                    free_at = min(mshr_inflight.values())
-                    if free_at > earliest:
-                        if request is not self._last_blocked_mshr:
-                            self.prefetches_blocked_mshr += 1
-                            self._last_blocked_mshr = request
-                        earliest = free_at
-            if earliest >= now:
-                # No idle issue slot (channel or MSHR) before `now`; hold
-                # the candidate (and everything behind it) for later.
-                push_back(request)
-                if queue is not None and self._cache_blocked:
-                    # Region queues return the held candidate verbatim on
-                    # the next pop (head-stable), so the probe can be
-                    # skipped outright until the monotone bound expires.
-                    # Engines without a region queue (stream buffers) may
-                    # retire pending candidates behind the held one, so
-                    # they are probed every time.
-                    self._blocked_until = monotone_earliest
-                    self._held_block = block
-                    self._held_queued_at = request.queued_at
-                    self._held_ch = ch
-                break
-            # DRAMSystem.access(block, earliest, kind="prefetch"), inlined.
-            per = nblk // n_channels // blocks_per_row
-            bank = per % n_banks
-            row = per // n_banks
-            start = channel_free[ch]
-            if earliest >= start:
-                start = earliest
-            bank_rows = open_rows[ch]
-            if bank_rows[bank] == row:
-                latency = row_hit_latency
-                dstats.row_hits += 1
+                monotone_earliest = earliest
+                if mshrs is not None:
+                    # MSHRFile.earliest_free(earliest), inlined (no stall
+                    # recording on the speculative prefetch probe).
+                    if earliest >= mshrs._min_ready:
+                        mshrs._reclaim(earliest)
+                    if len(mshr_inflight) >= mshr_capacity:
+                        free_at = min(mshr_inflight.values())
+                        if free_at > earliest:
+                            if request is not self._last_blocked_mshr:
+                                self.prefetches_blocked_mshr += 1
+                                self._last_blocked_mshr = request
+                            earliest = free_at
+                if earliest >= now:
+                    # No idle issue slot (channel or MSHR) before `now`;
+                    # hold the candidate (and everything behind it).
+                    push_back(request)
+                    if queue is not None and self._cache_blocked:
+                        # Region queues return the held candidate verbatim
+                        # on the next pop (head-stable), so the probe can
+                        # be skipped outright until the monotone bound
+                        # expires.  Engines without a region queue (stream
+                        # buffers) may retire pending candidates behind
+                        # the held one, so they are probed every time.
+                        self._blocked_until = monotone_earliest
+                        self._held_block = block
+                        self._held_queued_at = request.queued_at
+                        self._held_ch = ch
+                    break
+                # DRAMSystem.access(block, earliest, kind="prefetch"),
+                # inlined.
+                per = nblk // n_channels // blocks_per_row
+                bank = per % n_banks
+                row = per // n_banks
+                start = channel_free[ch]
+                if earliest >= start:
+                    start = earliest
+                bank_rows = open_rows[ch]
+                if bank_rows[bank] == row:
+                    latency = row_hit_latency
+                    dstats.row_hits += 1
+                    if dstats_core is not None:
+                        dstats_core.row_hits += 1
+                else:
+                    latency = row_miss_latency
+                    dstats.row_misses += 1
+                    if dstats_core is not None:
+                        dstats_core.row_misses += 1
+                    bank_rows[bank] = row
+                channel_free[ch] = start + transfer_cycles
+                busy_cycles[ch] += transfer_cycles
+                dstats.prefetch_blocks += 1
                 if dstats_core is not None:
-                    dstats_core.row_hits += 1
-            else:
-                latency = row_miss_latency
-                dstats.row_misses += 1
-                if dstats_core is not None:
-                    dstats_core.row_misses += 1
-                bank_rows[bank] = row
-            channel_free[ch] = start + transfer_cycles
-            busy_cycles[ch] += transfer_cycles
-            dstats.prefetch_blocks += 1
-            if dstats_core is not None:
-                dstats_core.prefetch_blocks += 1
-                core_busy[core_id] += transfer_cycles
-            ready = start + latency
-            if mshrs is not None:
-                # MSHRFile.allocate(block, ready, earliest), inlined.
-                if earliest >= mshrs._min_ready:
-                    mshrs._reclaim(earliest)
-                if len(mshr_inflight) >= mshr_capacity:
-                    raise RuntimeError(
-                        "MSHR overflow: allocate without a free entry")
-                mshr_inflight[block] = ready
-                if ready < mshrs._min_ready:
-                    mshrs._min_ready = ready
-                mshrs.allocations += 1
-                if mshr_core is not None:
-                    mshr_core.allocations += 1
-            self.prefetches_issued += 1
-            issued += 1
-            if metrics is not None:
-                metrics.on_prefetch_issue(request, earliest, ready)
-            if fill_prefetch is not None:
-                fill_prefetch(request, ready)
+                    dstats_core.prefetch_blocks += 1
+                    core_busy[core_id] += transfer_cycles
+                ready = start + latency
+                if mshrs is not None:
+                    # MSHRFile.allocate(block, ready, earliest), inlined.
+                    if earliest >= mshrs._min_ready:
+                        mshrs._reclaim(earliest)
+                    if len(mshr_inflight) >= mshr_capacity:
+                        raise RuntimeError(
+                            "MSHR overflow: allocate without a free entry")
+                    mshr_inflight[block] = ready
+                    if ready < mshrs._min_ready:
+                        mshrs._min_ready = ready
+                    mshrs.allocations += 1
+                    if mshr_core is not None:
+                        mshr_core.allocations += 1
+                n_issued += 1
+                issued += 1
+                if metrics is not None:
+                    metrics.on_prefetch_issue(request, earliest, ready)
+                if fill_prefetch is not None:
+                    fill_prefetch(request, ready)
+        finally:
+            self.prefetches_issued = n_issued
+            self.prefetches_dropped_resident = n_dropped
 
     def drain(self, now):
         """Issue everything issuable by ``now`` (used at simulation end)."""

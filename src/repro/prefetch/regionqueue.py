@@ -68,8 +68,15 @@ class RegionQueue:
         #: ``in`` test on the region-allocation paths.
         self.resident_map = resident_map
         self.policy = policy
+        self._lifo = policy == "lifo"
         self._entries = []  # index 0 = head (most recent)
         self._held = None  # candidate returned by push_back
+        #: Denormalized row-probe geometry of the most recent ``dram``
+        #: argument (see :meth:`pop_candidate`): the geometry fields are
+        #: fixed at DRAMSystem construction, so one identity check
+        #: replaces four attribute loads on every pop.
+        self._geo_src = None
+        self._geo = None
         self.regions_allocated = 0
         self.regions_dropped = 0
         self.candidates_issued = 0
@@ -228,19 +235,31 @@ class RegionQueue:
         entries = self._entries
         if not entries:
             return None
-        lifo = self.policy == "lifo"
+        lifo = self._lifo
         bsize = self.block_size
         if dram is not None:
             # Row-probe state, denormalized out of DRAMSystem: the open-row
             # preference scan below replicates row_is_open per candidate.
             # Duck-typed DRAM stands-ins (tests) keep the method call.
-            open_rows = getattr(dram, "_open_rows", None)
-            if open_rows is not None:
-                blk_shift = dram._block_shift
-                n_channels = dram._channels
-                n_banks = dram._banks
-                blocks_per_row = dram._blocks_per_row
+            # The geometry is immutable per DRAMSystem, so it is derived
+            # once per distinct ``dram`` and replayed from ``_geo`` on
+            # every later pop (the hottest call of the issue loop).
+            if dram is not self._geo_src:
+                open_rows = getattr(dram, "_open_rows", None)
+                if open_rows is not None:
+                    self._geo = (
+                        open_rows, dram._block_shift, dram._channels,
+                        dram._banks, dram._blocks_per_row,
+                    )
+                else:
+                    self._geo = None
+                self._geo_src = dram
+            geo = self._geo
+            if geo is not None:
+                open_rows, blk_shift, n_channels, n_banks, \
+                    blocks_per_row = geo
             else:
+                open_rows = None
                 row_is_open = dram.row_is_open
         while entries:
             pos = 0 if lifo else len(entries) - 1

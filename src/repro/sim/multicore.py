@@ -155,11 +155,19 @@ class CoreCell:
     """One core's private machinery inside a co-run.
 
     Owns the core model, its private-L1 hierarchy bound to the shared
-    levels, the workload's event stream, and the labels its
+    levels, the workload's trace, and the labels its
     :class:`~repro.sim.stats.SimStats` will carry.
+
+    ``compiled`` selects the trace form: the default builds the
+    interpreter's event-stream generator (``self.events``) the stepped
+    reference loop consumes; ``compiled=True`` builds the columnar
+    :class:`~repro.trace.compiled.CompiledTrace` (``self.trace``) the
+    fused loop iterates, through the process-wide trace store — keyed
+    with the cell's address-space ``base``, so core 0 shares entries
+    with single-core runs and higher cores get their own.
     """
 
-    def __init__(self, cell_spec, core_id, shared, config):
+    def __init__(self, cell_spec, core_id, shared, config, compiled=False):
         # Late import: runner imports spec/stats, and the experiment layer
         # imports us — mirror RunSpec.create's cycle-breaking pattern.
         from repro.sim.runner import SCHEMES, _built_workload
@@ -203,9 +211,33 @@ class CoreCell:
             interp.bind_pointer(name, addr)
         limit = (cell_spec.limit_refs if cell_spec.limit_refs is not None
                  else workload.default_refs)
-        #: The cell's trace event stream (the interpreter enforces the
-        #: reference limit, exactly as the single-core reference loop).
-        self.events = interp.run(limit=limit)
+        if compiled:
+            # Columnar trace through the process-wide store, mirroring
+            # runner._simulate's keying — including the hint signature,
+            # because hinted traces embed directives — plus the cell's
+            # base so per-core streams never alias across cores.
+            from repro.trace.store import (
+                TraceKey, default_store, hint_signature,
+            )
+
+            hint_sig = (
+                hint_signature(cell_spec.policy,
+                               scheme_spec.variable_regions,
+                               scheme_spec.indirect_mode,
+                               config.l2_size)
+                if scheme_spec.hinted else None
+            )
+            key = TraceKey(workload.name, cell_spec.scale, cell_spec.seed,
+                           limit, config.block_size, hint_sig,
+                           base=core_id * CORE_BASE_STRIDE)
+            self.trace = default_store().get_or_build(
+                key, lambda: interp.run_columns(limit))
+            self.events = None
+        else:
+            #: The cell's trace event stream (the interpreter enforces
+            #: the reference limit, as the single-core reference loop).
+            self.events = interp.run(limit=limit)
+            self.trace = None
 
 
 class MultiCoreSimulator:
@@ -213,16 +245,24 @@ class MultiCoreSimulator:
 
     This is the slow, obviously-correct replay: one trace event per
     arbitration step, every core going through the out-of-line
-    ``Hierarchy.access`` path.  The single-core engine's fused loop has
-    no multi-core counterpart yet; co-runs pay the slow loop's cost.
+    ``Hierarchy.access`` path.  It is the semantic reference the fused
+    backend (:mod:`repro.sim.multicore_fused`) is pinned against —
+    byte-identical ``CoRunResult.to_dict()`` for every spec both can
+    run — and the fallback for the configurations fused declines.
     """
+
+    #: Subclasses flip this to build cells with compiled columnar traces
+    #: instead of interpreter event streams.
+    COMPILED_CELLS = False
 
     def __init__(self, spec):
         config = spec.machine_config()
         self.spec = spec
+        self.config = config
         self.shared = SharedMemorySystem(config, spec.n_cores)
         self.cells = [
-            CoreCell(cell_spec, core_id, self.shared, config)
+            CoreCell(cell_spec, core_id, self.shared, config,
+                     compiled=self.COMPILED_CELLS)
             for core_id, cell_spec in enumerate(spec.cells)
         ]
 
@@ -292,18 +332,38 @@ class MultiCoreSimulator:
 def execute_corun(spec, solo_baseline=True):
     """Run the co-run a :class:`~repro.sim.spec.CoRunSpec` describes.
 
+    The spec's ``backend`` field (resolved through
+    :func:`repro.sim.runner.resolve_corun_backend`, so ``auto`` honors
+    ``REPRO_CORUN_BACKEND``) picks the replay loop: ``fused`` is the
+    skip-ahead stretch scheduler, ``stepped`` the per-event reference.
+    A config the fused loop cannot replay exactly (TLB enabled) falls
+    back to stepped — a silent degradation, never an error, mirroring
+    the single-core vectorized backend's no-numpy fallback.
+
     Returns a :class:`~repro.sim.stats.CoRunResult`: one SimStats per
     core plus the shared-level interference summary.  With
     ``solo_baseline`` (the default), each cell is additionally run alone
     through the single-core engine — those runs ride the trace store and
-    fast path, so they are cheap relative to the stepped co-run — to
+    fast path, so they are cheap relative to the co-run itself — to
     report per-core slowdown, its geometric mean, and Jain's fairness
     index over relative speeds.  ``solo_baseline=False`` skips them (the
     perf-bench smoke case measures stepping cost only).
     """
-    from repro.sim.runner import execute  # late: runner imports spec
+    # Late imports: runner imports spec, and multicore_fused imports us.
+    from repro.sim.runner import execute, resolve_corun_backend
 
-    simulator = MultiCoreSimulator(spec)
+    backend = resolve_corun_backend(getattr(spec, "backend", "auto"))
+    if backend == "fused":
+        from repro.sim.multicore_fused import (
+            FusedMultiCoreSimulator, supports,
+        )
+
+        if supports(spec.machine_config()):
+            simulator = FusedMultiCoreSimulator(spec)
+        else:
+            simulator = MultiCoreSimulator(spec)
+    else:
+        simulator = MultiCoreSimulator(spec)
     simulator.run()
     core_stats = simulator.results()
     shared = simulator.shared

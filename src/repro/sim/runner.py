@@ -37,7 +37,7 @@ from repro.prefetch.srp import SRPPrefetcher
 from repro.prefetch.stride import StridePrefetcher
 from repro.sim.config import MachineConfig
 from repro.sim.simulator import Simulator
-from repro.sim.spec import BACKENDS, RunSpec
+from repro.sim.spec import BACKENDS, CORUN_BACKENDS, RunSpec
 from repro.trace.interp import Interpreter
 from repro.trace.store import TraceKey, default_store, hint_signature
 from repro.workloads.base import Workload, get_workload
@@ -121,6 +121,39 @@ def resolve_backend(requested="auto"):
         raise ValueError(
             "unknown replay backend %r (have: %s)"
             % (backend, ", ".join(BACKENDS)))
+    return backend
+
+
+def resolve_corun_backend(requested="auto"):
+    """Resolve a co-run spec's backend request to ``stepped``/``fused``.
+
+    The multi-core analogue of :func:`resolve_backend`: ``"auto"`` (the
+    default on every :class:`~repro.sim.spec.CoRunSpec`) consults the
+    ``REPRO_CORUN_BACKEND`` environment variable; a pinned spec backend
+    wins over the environment.  When neither pins a choice, the fused
+    skip-ahead loop is used — it is byte-identical to the stepped
+    reference in every statistic (the differential matrix enforces it),
+    so the choice only affects speed.  A resolved ``"fused"`` may still
+    degrade to ``"stepped"`` inside :func:`~repro.sim.multicore.
+    execute_corun` when the configuration falls outside the fused loop's
+    exactness envelope (TLB-enabled configs) — a degradation, never an
+    error, mirroring the vectorized backend's no-numpy fallback.
+    """
+    backend = requested or "auto"
+    if backend == "auto":
+        env = os.environ.get("REPRO_CORUN_BACKEND", "").strip()
+        if env:
+            if env not in CORUN_BACKENDS:
+                raise ValueError(
+                    "REPRO_CORUN_BACKEND=%r is not a known co-run backend"
+                    " (have: %s)" % (env, ", ".join(CORUN_BACKENDS)))
+            backend = env
+    if backend == "auto":
+        backend = "fused"
+    if backend not in ("stepped", "fused"):
+        raise ValueError(
+            "unknown co-run backend %r (have: %s)"
+            % (backend, ", ".join(CORUN_BACKENDS)))
     return backend
 
 

@@ -72,6 +72,15 @@ def _canonical_json(data):
 #: another in the persistent cache.
 BACKENDS = ("auto", "fused", "vectorized")
 
+#: Replay-backend names a *co-run* spec may carry.  The multi-core loop
+#: has its own backend pair — ``"stepped"`` is the per-event reference
+#: arbiter, ``"fused"`` the skip-ahead scheduler built on the compiled
+#: fast path — and ``"auto"`` defers to the runner (the
+#: ``REPRO_CORUN_BACKEND`` env var, else fused).  Like the single-core
+#: field, the choice rides in :meth:`CoRunSpec.to_dict` and therefore in
+#: the digest, so pinned backends never alias in the persistent cache.
+CORUN_BACKENDS = ("auto", "stepped", "fused")
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -210,16 +219,19 @@ class CoRunSpec:
     """
 
     cells: tuple
+    backend: str = "auto"
 
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, workloads, scheme="none", config=None, mode="real",
-               policy="default", limit_refs=None, scale=1.0, seed=12345):
+               policy="default", limit_refs=None, scale=1.0, seed=12345,
+               backend="auto"):
         """Build a co-run over ``workloads`` (a sequence of names).
 
         ``scheme`` is either one name applied to every core or a sequence
         of per-core names (same length as ``workloads``).  The remaining
-        parameters are applied to every cell.
+        parameters are applied to every cell.  ``backend`` selects the
+        multi-core replay loop (see :data:`CORUN_BACKENDS`).
         """
         workloads = tuple(workloads)
         if not workloads:
@@ -238,11 +250,15 @@ class CoRunSpec:
                 limit_refs=limit_refs, scale=scale, seed=seed)
             for workload, s in zip(workloads, schemes)
         )
-        return cls(cells=cells)
+        return cls(cells=cells, backend=backend)
 
     def __post_init__(self):
         if not isinstance(self.cells, tuple) or not self.cells:
             raise ValueError("CoRunSpec.cells must be a non-empty tuple")
+        if self.backend not in CORUN_BACKENDS:
+            raise ValueError(
+                "unknown co-run backend %r (have: %s)"
+                % (self.backend, ", ".join(CORUN_BACKENDS)))
         first = self.cells[0]
         for cell in self.cells[1:]:
             if cell.config_json != first.config_json:
@@ -284,14 +300,27 @@ class CoRunSpec:
         """Plain-data form, tagged with the ``"corun"`` marker."""
         return {
             "corun": True,
+            "backend": self.backend,
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
     @classmethod
     def from_dict(cls, data):
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Strict about the backend field, like :meth:`RunSpec.from_dict`:
+        an unknown name describes a run this build cannot reproduce.  A
+        payload with no backend field (pre-backend producers) means
+        ``"auto"``.
+        """
+        backend = data.get("backend", "auto")
+        if backend not in CORUN_BACKENDS:
+            raise ValueError(
+                "unknown co-run backend %r in spec payload (have: %s)"
+                % (backend, ", ".join(CORUN_BACKENDS)))
         return cls(cells=tuple(
-            RunSpec.from_dict(cell) for cell in data["cells"]))
+            RunSpec.from_dict(cell) for cell in data["cells"]),
+            backend=backend)
 
     def digest(self, salt=""):
         """Content hash (the persistent cache's key), as in RunSpec."""

@@ -143,6 +143,12 @@ class TraceKey:
     the tuple of compiler inputs that shape the emitted directives —
     ``(policy, variable_regions, indirect_mode, l2_size)`` — so two
     schemes whose binaries would be identical share one trace.
+
+    ``base`` is the workload's address-space base.  Single-core runs
+    build at 0 (the default, digest-compatible in spirit with prior
+    keys); multi-core co-runs build core ``i`` at ``i << 36``, and every
+    address in the trace shifts with it — two bases are two different
+    event streams and must never alias in the store.
     """
 
     workload: str
@@ -151,13 +157,14 @@ class TraceKey:
     limit: int
     block_size: int
     hint_sig: tuple = None
+    base: int = 0
 
     def digest(self):
         """Content hash naming this key's on-disk entry."""
         payload = json.dumps(
             [self.workload, self.scale, self.seed, self.limit,
              self.block_size, list(self.hint_sig) if self.hint_sig else None,
-             _version_salt()],
+             self.base, _version_salt()],
             sort_keys=True, separators=(",", ":"),
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()

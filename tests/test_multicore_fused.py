@@ -1,0 +1,171 @@
+"""Differential tests for the fused multi-core co-run backend.
+
+The fused skip-ahead scheduler must produce byte-identical
+``CoRunResult.to_dict()`` output to the stepped reference loop for every
+spec both can run: all 15 pairs of the representative co-run mix under
+every scheme family, and the 18-core rush-hour mix.  Also covered: the
+fused backend's decline-and-fall-back contract for TLB configurations,
+``CoRunSpec.backend`` digest sensitivity and serialization, and the
+``REPRO_CORUN_BACKEND`` resolution rules.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.experiments.corun import CORUN_BENCHMARKS
+from repro.sim.config import MachineConfig
+from repro.sim.multicore import MultiCoreSimulator, execute_corun
+from repro.sim.multicore_fused import FusedMultiCoreSimulator, supports
+from repro.sim.runner import resolve_corun_backend
+from repro.sim.spec import CORUN_BACKENDS, CoRunSpec
+
+#: Small per-core trace length: long enough to exercise shared-L2
+#: contention, prefetch traffic, and cross-core pollution; short enough
+#: that the 15x4 differential matrix stays in tier-1 budget.
+REFS = 400
+
+PAIRS = list(itertools.combinations(CORUN_BENCHMARKS, 2))
+SCHEMES = ["none", "srp", "grp", "srp-adaptive"]
+
+RUSH_HOUR = ["mcf", "swim", "art", "ammp", "equake", "mesa"] * 3
+
+
+def both_backends(workloads, scheme, refs=REFS, config=None):
+    """Stepped and fused results for one co-run, as plain dicts."""
+    results = {}
+    for backend in ("stepped", "fused"):
+        spec = CoRunSpec.create(workloads, scheme, config=config,
+                                limit_refs=refs, backend=backend)
+        results[backend] = execute_corun(spec, solo_baseline=False).to_dict()
+    return results
+
+
+class TestDifferentialMatrix:
+    """Fused vs stepped over every pair x scheme: byte-identical."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("pair", PAIRS,
+                             ids=["+".join(p) for p in PAIRS])
+    def test_pair_byte_identical(self, pair, scheme):
+        results = both_backends(list(pair), scheme)
+        assert json.dumps(results["stepped"], sort_keys=True) \
+            == json.dumps(results["fused"], sort_keys=True)
+
+    def test_rush_hour_byte_identical(self):
+        results = both_backends(RUSH_HOUR, "srp", refs=250)
+        assert json.dumps(results["stepped"], sort_keys=True) \
+            == json.dumps(results["fused"], sort_keys=True)
+
+    def test_solo_baseline_summary_identical(self):
+        """The fairness/slowdown summary block matches too."""
+        outs = {}
+        for backend in ("stepped", "fused"):
+            spec = CoRunSpec.create(["mcf", "swim"], "srp",
+                                    limit_refs=REFS, backend=backend)
+            outs[backend] = execute_corun(spec).to_dict()
+        assert outs["stepped"] == outs["fused"]
+
+
+class TestFusedDecline:
+    """TLB configs are out of the fused envelope: decline, fall back."""
+
+    def test_supports_rejects_tlb(self):
+        assert supports(MachineConfig.scaled())
+        assert not supports(MachineConfig.scaled(tlb_entries=32))
+
+    def test_constructor_rejects_tlb(self):
+        spec = CoRunSpec.create(
+            ["mcf", "swim"], "srp", limit_refs=REFS,
+            config=MachineConfig.scaled(tlb_entries=32))
+        with pytest.raises(ValueError):
+            FusedMultiCoreSimulator(spec)
+
+    def test_execute_corun_falls_back_to_stepped(self):
+        """A fused request on a TLB config degrades, never errors —
+        and the result equals an explicit stepped run."""
+        config = MachineConfig.scaled(tlb_entries=32)
+        results = both_backends(["mcf", "swim"], "srp", config=config)
+        assert results["stepped"] == results["fused"]
+
+    def test_fused_used_when_supported(self):
+        """On a plain config a fused request really builds the fused
+        simulator (guards against a silent always-fall-back bug)."""
+        spec = CoRunSpec.create(["mcf", "swim"], "none",
+                                limit_refs=REFS, backend="fused")
+        assert supports(spec.machine_config())
+        sim = FusedMultiCoreSimulator(spec)
+        assert sim.COMPILED_CELLS
+        for cell in sim.cells:
+            assert cell.trace is not None
+            assert cell.events is None
+
+    def test_stepped_cells_keep_event_streams(self):
+        spec = CoRunSpec.create(["mcf", "swim"], "none",
+                                limit_refs=REFS, backend="stepped")
+        sim = MultiCoreSimulator(spec)
+        for cell in sim.cells:
+            assert cell.trace is None
+            assert cell.events is not None
+
+
+class TestBackendField:
+    """CoRunSpec.backend: validation, serialization, digest."""
+
+    def test_create_validates_backend(self):
+        with pytest.raises(ValueError):
+            CoRunSpec.create(["mcf"], "none", backend="warp")
+
+    def test_round_trip_preserves_backend(self):
+        for backend in CORUN_BACKENDS:
+            spec = CoRunSpec.create(["mcf", "swim"], "srp",
+                                    limit_refs=REFS, backend=backend)
+            again = CoRunSpec.from_dict(spec.to_dict())
+            assert again.backend == backend
+            assert again == spec
+
+    def test_from_dict_rejects_unknown_backend(self):
+        payload = CoRunSpec.create(["mcf"], "none").to_dict()
+        payload["backend"] = "warp"
+        with pytest.raises(ValueError):
+            CoRunSpec.from_dict(payload)
+
+    def test_missing_backend_means_auto(self):
+        payload = CoRunSpec.create(["mcf"], "none").to_dict()
+        del payload["backend"]
+        assert CoRunSpec.from_dict(payload).backend == "auto"
+
+    def test_backend_rides_in_digest(self):
+        digests = {
+            CoRunSpec.create(["mcf", "swim"], "srp",
+                             backend=backend).digest()
+            for backend in CORUN_BACKENDS
+        }
+        assert len(digests) == len(CORUN_BACKENDS)
+
+
+class TestBackendResolution:
+    """resolve_corun_backend: pins, the env var, and the auto default."""
+
+    def test_auto_defaults_to_fused(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CORUN_BACKEND", raising=False)
+        assert resolve_corun_backend("auto") == "fused"
+        assert resolve_corun_backend(None) == "fused"
+
+    def test_env_var_steers_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORUN_BACKEND", "stepped")
+        assert resolve_corun_backend("auto") == "stepped"
+
+    def test_explicit_pin_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORUN_BACKEND", "stepped")
+        assert resolve_corun_backend("fused") == "fused"
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORUN_BACKEND", "warp")
+        with pytest.raises(ValueError):
+            resolve_corun_backend("auto")
+
+    def test_unknown_pin_raises(self):
+        with pytest.raises(ValueError):
+            resolve_corun_backend("warp")

@@ -17,7 +17,9 @@ Four layers of guarantees for ``repro.sim.vectorized``:
   fused with identical results;
 * **caching** — pinned backends are part of the RunSpec digest (results
   from different backends can never alias in the persistent cache) and
-  the 1.6.0 version-salt bump invalidates every pre-backend entry.
+  the 1.6.0 version-salt bump invalidated every pre-backend entry
+  (and each later bump — 1.7.0 added the co-run backend field — keeps
+  older payloads from aliasing).
 """
 
 import json
@@ -204,7 +206,8 @@ class TestDigestSensitivity:
         assert len(digests) == 3
 
     def test_version_salt_invalidates_prebackend_entries(self):
-        assert "1.6.0" in version_salt()
+        import repro
+        assert repro.__version__ in version_salt()
         spec = self.spec("auto")
         assert spec.digest(version_salt()) != spec.digest("repro-1.5.0")
 

@@ -151,7 +151,11 @@ def check_parent_kill_resume(baseline_csv):
 
 
 def check_corun_recovery():
-    corun_specs = [CoRunSpec.create(mix, scheme, limit_refs=REFS)
+    # Pinned to the fused backend: the resume drill then also exercises
+    # the skip-ahead loop's determinism through the supervisor/journal
+    # (the stepped loop gets its coverage from the differential suite).
+    corun_specs = [CoRunSpec.create(mix, scheme, limit_refs=REFS,
+                                    backend="fused")
                    for mix, scheme in CORUN_SWEEP]
     baseline_csv = runs_to_csv(run_batch(corun_specs, jobs=1))
     plan = FaultPlan.from_dict(CORUN_FAULT_PLAN)
