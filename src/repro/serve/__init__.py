@@ -1,0 +1,42 @@
+"""Simulation-as-a-service: an HTTP front end over the run pipeline.
+
+This package turns the existing batch machinery — frozen/hashable
+:class:`~repro.sim.spec.RunSpec`/:class:`~repro.sim.spec.CoRunSpec`,
+the content-keyed persistent :class:`~repro.sim.cache.ResultCache`, and
+the checkpointed fault-tolerant
+:class:`~repro.sim.supervisor.SweepSupervisor` — into a shared service:
+the cache becomes a memo table behind ``GET /results/<digest>``, so a
+sweep any client has run before costs zero simulation compute for every
+client after.
+
+Layers
+------
+* :mod:`repro.serve.jobs` — :class:`~repro.serve.jobs.JobManager`: a
+  bounded job queue drained by a worker-thread pool, each job executed
+  by a :class:`~repro.sim.supervisor.SweepSupervisor` (process
+  isolation, retries, timeouts), with per-digest single-flight locking
+  so concurrent identical submissions compute once.
+* :mod:`repro.serve.server` — :class:`~repro.serve.server.Server`: the
+  asyncio HTTP layer (stdlib only).  ``POST /runs`` validates and
+  enqueues; ``GET /jobs/<id>`` snapshots or streams progress from the
+  supervisor's checkpoint journal; ``GET /results/<digest>`` serves
+  cached results with the spec digest as a strong ETag;
+  ``GET /healthz`` and ``GET /stats`` report liveness, queue depth,
+  cache hit rate, and worker status.
+* :mod:`repro.serve.client` — :class:`~repro.serve.client.ServeClient`:
+  a thin stdlib (urllib) client used by the tests and the
+  ``tools/check_serve.py`` CI gate.
+
+Run it with ``python -m repro.serve --port 8642``; see OPERATIONS.md
+("Serving") for the endpoint reference and DESIGN.md §3j for the
+architecture.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobManager, QueueFull
+from repro.serve.server import Server
+
+__all__ = [
+    "Job", "JobManager", "QueueFull", "ServeClient", "ServeError",
+    "Server",
+]

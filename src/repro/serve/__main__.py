@@ -1,0 +1,80 @@
+"""Run the simulation service from the command line.
+
+Usage::
+
+    python -m repro.serve                         # 127.0.0.1:8642
+    python -m repro.serve --port 0                # ephemeral port
+    python -m repro.serve --workers 4 --jobs 0    # 4 jobs, all cores each
+    python -m repro.serve --cache-dir /shared/repro-cache
+
+The server announces ``serving on http://HOST:PORT`` on stdout once
+bound (machine-parseable — the CI gate scrapes it for the ephemeral
+port) and runs until Ctrl-C.  All state worth keeping lives in the
+cache directory: results, per-job checkpoint journals
+(``<cache-dir>/serve/``), and the cross-process lock file — restarting
+the server loses only in-memory job records, never results.
+
+Try it::
+
+    curl -s localhost:8642/healthz
+    curl -s -X POST localhost:8642/runs \\
+        -d '{"spec": {"workload": "swim", "scheme": "grp"}}'
+    curl -s localhost:8642/jobs/j000001
+    curl -s localhost:8642/results/<digest>
+"""
+
+import argparse
+import sys
+
+from repro.serve.jobs import JobManager
+from repro.serve.server import Server
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="python -m repro.serve")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port; 0 picks an ephemeral one "
+                             "(default 8642)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="job worker threads — jobs running "
+                             "concurrently (default 2)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="simulation worker processes per job's "
+                             "supervisor; 0 = all cores (default 1)")
+    parser.add_argument("--backlog", type=int, default=64,
+                        help="bounded job-queue capacity; a full queue "
+                             "answers 503 (default 64)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="supervisor retries per cell (default 2)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt worker deadline (default: none)")
+    parser.add_argument("--max-failures", type=int, default=None,
+                        help="per-job failure budget before the job "
+                             "aborts (default: unlimited)")
+    args = parser.parse_args(argv)
+
+    manager = JobManager(
+        cache_dir=args.cache_dir, workers=args.workers,
+        backlog=args.backlog, sim_jobs=args.jobs, retries=args.retries,
+        timeout=args.timeout, max_failures=args.max_failures)
+    server = Server(manager, host=args.host, port=args.port)
+
+    def announce(srv):
+        print("serving on http://%s:%d" % (srv.host, srv.port), flush=True)
+        print("cache: %s" % manager.cache.cache_dir, flush=True)
+
+    try:
+        server.run_forever(on_ready=announce)
+    finally:
+        manager.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

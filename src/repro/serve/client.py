@@ -1,0 +1,152 @@
+"""A thin stdlib client for the serve API.
+
+Built on :mod:`urllib.request` only, so anything that can import repro
+can talk to a running server — the tests, the ``tools/check_serve.py``
+CI gate, and ad-hoc scripts.  The client is deliberately dumb: it
+submits serialized specs, polls jobs, and fetches result bytes; all
+interpretation (rehydrating results, comparing payloads) stays with the
+caller.  Methods raise :class:`ServeError` for any non-2xx answer the
+method does not model (404 on an unknown digest, 400 on a rejected
+body, 503 on a full queue), carrying the server's JSON error reason.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.sim.stats import result_from_dict
+
+
+class ServeError(RuntimeError):
+    """A non-2xx API answer: carries ``status`` and the server's reason."""
+
+    def __init__(self, status, message):
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = status
+        self.reason = message
+
+
+class ServeClient:
+    """Talk to one serve endpoint (``base_url``, e.g.
+    ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, base_url, timeout=60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method, path, body=None, headers=()):
+        """One HTTP exchange; returns ``(status, header_map, bytes)``."""
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method)
+        request.add_header("Content-Type", "application/json")
+        for name, value in headers:
+            request.add_header(name, value)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return (resp.status,
+                        {k.lower(): v for k, v in resp.headers.items()},
+                        resp.read())
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            if exc.code == 304:  # not an error: the ETag matched
+                return (304,
+                        {k.lower(): v for k, v in exc.headers.items()},
+                        payload)
+            try:
+                reason = json.loads(payload.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                reason = payload.decode("utf-8", "replace") or exc.reason
+            raise ServeError(exc.code, reason)
+
+    def _get_json(self, path):
+        status, _headers, body = self._request("GET", path)
+        return json.loads(body.decode("utf-8"))
+
+    # -- endpoints -----------------------------------------------------
+    def healthz(self):
+        """The liveness payload (raises if the server is unreachable)."""
+        return self._get_json("/healthz")
+
+    def stats(self):
+        """The server's ``GET /stats`` payload."""
+        return self._get_json("/stats")
+
+    def submit(self, spec):
+        """POST one spec (or a list of specs) serialized via ``to_dict``.
+
+        ``spec`` may be a RunSpec/CoRunSpec (or a list of them) or the
+        equivalent already-serialized dict(s).  Returns the 202 payload:
+        ``{"job", "href", "digests", "results"}``.
+        """
+        if isinstance(spec, (list, tuple)):
+            payload = {"specs": [self._serialize(item) for item in spec]}
+        else:
+            payload = {"spec": self._serialize(spec)}
+        body = json.dumps(payload).encode("utf-8")
+        status, _headers, raw = self._request("POST", "/runs", body=body)
+        return json.loads(raw.decode("utf-8"))
+
+    @staticmethod
+    def _serialize(spec):
+        return spec if isinstance(spec, dict) else spec.to_dict()
+
+    def job(self, job_id):
+        """The job's snapshot (``GET /jobs/<id>``)."""
+        return self._get_json("/jobs/%s" % job_id)
+
+    def jobs(self):
+        """Every job's id + state."""
+        return self._get_json("/jobs")["jobs"]
+
+    def wait(self, job_id, timeout=300.0, poll=0.05):
+        """Poll a job until it reaches a terminal state; return it.
+
+        Raises ``TimeoutError`` if the job is still queued or running
+        after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            data = self.job(job_id)
+            if data["state"] in ("done", "failed"):
+                return data
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "job %s still %s after %.1fs"
+                    % (job_id, data["state"], timeout))
+            time.sleep(poll)
+
+    def stream_job(self, job_id):
+        """Yield the job's journal records live (``?stream=1``).
+
+        Generator of parsed JSON records; ends with the ``{"kind":
+        "job", ...}`` terminal snapshot.  urllib de-chunks the response
+        transparently.
+        """
+        request = urllib.request.Request(
+            self.base_url + "/jobs/%s?stream=1" % job_id)
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def result_bytes(self, digest, etag=None):
+        """Fetch a result's raw bytes; returns ``(status, body, etag)``.
+
+        With ``etag`` set, sends ``If-None-Match`` — a 304 comes back
+        with an empty body.  Raises :class:`ServeError` (404) for
+        unknown digests.
+        """
+        headers = [("If-None-Match", etag)] if etag else []
+        status, header_map, body = self._request(
+            "GET", "/results/%s" % digest, headers=headers)
+        return status, body, header_map.get("etag")
+
+    def result(self, digest):
+        """Fetch and rehydrate a result (SimStats/CoRunResult/…)."""
+        _status, body, _etag = self.result_bytes(digest)
+        return result_from_dict(json.loads(body.decode("utf-8")))

@@ -1,0 +1,285 @@
+"""Job queue + worker pool: the execution half of the serve subsystem.
+
+A *job* is one ``POST /runs`` submission — a single spec or a sweep
+matrix — tracked from ``queued`` through ``running`` to ``done`` (or
+``failed``, for infrastructure-level errors like an exhausted failure
+budget).  Jobs wait in a **bounded** queue (a full queue rejects the
+submission with :class:`QueueFull`, which the HTTP layer maps to 503 —
+backpressure, not unbounded memory) and are drained by a small pool of
+worker threads.
+
+Each worker executes its job with a
+:class:`~repro.sim.supervisor.SweepSupervisor`, so every resilience
+property of the CLI pipeline carries over to the service verbatim:
+process-per-cell isolation (a segfaulting spec kills a child process,
+never the server), per-attempt timeouts, bounded retries, and graceful
+degradation — a cell that fails permanently surfaces as a
+``failed:<kind>`` status on the job, while the rest of the matrix
+completes.  The supervisor journals to a per-job checkpoint file, which
+is what ``GET /jobs/<id>`` tails for progress.
+
+Single-flight
+-------------
+Before running, a worker acquires a per-digest mutex for every unique
+spec in its job (in sorted digest order, so overlapping jobs cannot
+deadlock).  N concurrent submissions of the same spec therefore
+serialize: the first computes and writes the result cache, the rest
+wake up inside the supervisor's cache-hit fast path and complete with
+zero simulation compute — the memo-table behaviour the service exists
+to provide.  Distinct specs never share a mutex and run fully parallel.
+"""
+
+import itertools
+import queue
+import threading
+import time
+
+from repro.sim.cache import ResultCache, version_salt
+from repro.sim.supervisor import SweepAborted, SweepSupervisor
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`JobManager.submit` when the backlog is full."""
+
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class Job:
+    """One submitted unit of work: a list of specs and their outcome."""
+
+    def __init__(self, job_id, specs, digests, journal_path):
+        self.id = job_id
+        self.specs = list(specs)
+        self.digests = list(digests)
+        self.journal_path = journal_path
+        self.state = "queued"
+        self.error = None
+        self.worker = None
+        self.created = time.time()
+        self.started = None
+        self.finished = None
+        #: {"done": n, "total": n, "cached": n, "computed": n}, updated
+        #: live by the supervisor's progress callback.
+        self.progress = {"done": 0, "total": len(set(digests)),
+                         "cached": 0, "computed": 0}
+        #: One {"digest", "label", "status"} per submitted spec (input
+        #: order), filled in when the job completes.  ``status`` is
+        #: ``"ok"`` or ``"failed:<kind>"``.
+        self.cells = None
+
+    @property
+    def finished_state(self):
+        """True once the job reached a terminal state."""
+        return self.state in ("done", "failed")
+
+    def to_dict(self):
+        """JSON view of the job (the ``GET /jobs/<id>`` body core)."""
+        data = {
+            "id": self.id,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "progress": dict(self.progress),
+            "digests": list(self.digests),
+        }
+        if self.cells is not None:
+            data["cells"] = [dict(cell) for cell in self.cells]
+        return data
+
+
+class JobManager:
+    """Bounded job queue + worker threads over the sweep supervisor.
+
+    Parameters: ``cache`` (a shared :class:`ResultCache`; created from
+    ``cache_dir``/the environment when None), ``workers`` (job worker
+    threads — jobs running concurrently), ``backlog`` (queue bound),
+    ``sim_jobs`` (worker *processes* per job's supervisor — per-cell
+    parallelism within a sweep), and the supervisor's resilience knobs
+    (``retries``, ``timeout``, ``max_failures``).  Per-job checkpoint
+    journals live under ``<cache_dir>/serve/<job id>.ckpt``.
+    """
+
+    def __init__(self, cache=None, cache_dir=None, workers=2, backlog=64,
+                 sim_jobs=1, retries=2, timeout=None, max_failures=None):
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.workers = max(1, workers)
+        self.sim_jobs = sim_jobs
+        self.retries = retries
+        self.timeout = timeout
+        self.max_failures = max_failures
+        self.journal_dir = self.cache.cache_dir / "serve"
+        self._queue = queue.Queue(maxsize=max(1, backlog))
+        self._lock = threading.Lock()
+        self._jobs = {}          # id -> Job
+        self._flight = {}        # digest -> per-digest single-flight lock
+        self._ids = itertools.count(1)
+        self._threads = []
+        self._worker_state = {}  # thread name -> job id or None
+        self._started = False
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    def start(self):
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for i in range(self.workers):
+                name = "serve-worker-%d" % i
+                self._worker_state[name] = None
+                thread = threading.Thread(target=self._worker_loop,
+                                          name=name, daemon=True)
+                self._threads.append(thread)
+                thread.start()
+
+    def shutdown(self):
+        """Stop the workers after the queue drains; join them."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    def submit(self, specs):
+        """Enqueue one job over ``specs``; return its :class:`Job`.
+
+        Raises :class:`QueueFull` when the backlog is at capacity — the
+        HTTP layer turns that into a 503 with a retry hint.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ValueError("a job needs at least one spec")
+        salt = version_salt()
+        digests = [spec.digest(salt) for spec in specs]
+        with self._lock:
+            job_id = "j%06d" % next(self._ids)
+            journal = str(self.journal_dir / ("%s.ckpt" % job_id))
+            job = Job(job_id, specs, digests, journal)
+            self._jobs[job_id] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job_id]
+            raise QueueFull(
+                "job queue is full (%d queued)" % self._queue.qsize())
+        return job
+
+    def get(self, job_id):
+        """Look up a job by id (None when unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self):
+        """All jobs, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.id)
+
+    # ------------------------------------------------------------------
+    def _flight_locks(self, digests):
+        """The single-flight mutexes for ``digests``, sorted for
+        deadlock-free multi-acquisition."""
+        with self._lock:
+            return [self._flight.setdefault(digest, threading.Lock())
+                    for digest in sorted(set(digests))]
+
+    def _worker_loop(self):
+        name = threading.current_thread().name
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._worker_state[name] = job.id
+            try:
+                self._run_job(job)
+            finally:
+                self._worker_state[name] = None
+
+    def _run_job(self, job):
+        """Execute one job under its single-flight locks."""
+        job.state = "running"
+        job.started = time.time()
+        job.worker = threading.current_thread().name
+
+        def progressed(done, total, spec, cached):
+            with self._lock:
+                job.progress["done"] = done
+                job.progress["total"] = total
+                job.progress["cached" if cached else "computed"] += 1
+
+        locks = self._flight_locks(job.digests)
+        for lock in locks:
+            lock.acquire()
+        try:
+            supervisor = SweepSupervisor(
+                job.specs, jobs=self.sim_jobs, cache=self.cache,
+                checkpoint=job.journal_path, retries=self.retries,
+                timeout=self.timeout, max_failures=self.max_failures,
+                progress=progressed)
+            results = supervisor.run()
+        except SweepAborted as exc:
+            job.error = str(exc)
+            job.state = "failed"
+            job.finished = time.time()
+            return
+        except Exception as exc:  # infrastructure bug: fail the job,
+            job.error = "%s: %s" % (type(exc).__name__, exc)  # not the server
+            job.state = "failed"
+            job.finished = time.time()
+            return
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+        cells = []
+        for spec, digest, result in zip(job.specs, job.digests, results):
+            status = ("ok" if result.ok
+                      else "failed:%s" % result.kind)
+            cells.append({"digest": digest, "label": spec.label(),
+                          "status": status})
+        job.cells = cells
+        job.state = "done"
+        job.finished = time.time()
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """The ``GET /stats`` payload: queue, workers, cells, cache."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            workers = [{"name": name, "job": job_id,
+                        "state": "running" if job_id else "idle"}
+                       for name, job_id in sorted(
+                           self._worker_state.items())]
+        by_state = {state: 0 for state in JOB_STATES}
+        cells = {"done": 0, "cached": 0, "computed": 0, "failed": 0}
+        for job in jobs:
+            by_state[job.state] += 1
+            cells["done"] += job.progress["done"]
+            cells["cached"] += job.progress["cached"]
+            cells["computed"] += job.progress["computed"]
+            for cell in job.cells or ():
+                if cell["status"] != "ok":
+                    cells["failed"] += 1
+        hits, misses = self.cache.hits, self.cache.misses
+        lookups = hits + misses
+        return {
+            "uptime": time.time() - self.started_at,
+            "queue_depth": self._queue.qsize(),
+            "backlog": self._queue.maxsize,
+            "workers": workers,
+            "jobs": by_state,
+            "cells": cells,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+                "quarantined": self.cache.quarantined,
+                "entries": len(self.cache),
+                "dir": str(self.cache.cache_dir),
+            },
+        }

@@ -30,6 +30,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.faults import FAULT_PLAN_ENV
 from repro.sim.runner import SCHEMES, run_workload
 from repro.sim.spec import CoRunSpec, RunSpec
+from repro.sim.stats import result_to_json
 from repro.sim.supervisor import SweepSupervisor
 from repro.workloads import workload_names
 
@@ -87,6 +88,11 @@ def main(argv=None):
     parser.add_argument("--metrics", action="store_true",
                         help="print the observability summary (prefetch "
                              "timeliness, pollution, DRAM utilization)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the run's RunResult as canonical JSON "
+                             "on stdout — byte-identical to what the "
+                             "repro.serve result endpoint returns for "
+                             "the same spec — instead of the report")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write the run's JSONL event trace to FILE")
     resilience = parser.add_argument_group(
@@ -143,11 +149,16 @@ def main(argv=None):
                 timeout=args.timeout)
             result = supervisor.run()[0]
             if not result.ok:
+                if args.json:
+                    print(result_to_json(result))
                 print("run failed permanently: %r" % result, file=sys.stderr)
                 return 1
         else:
             from repro.sim.multicore import execute_corun
             result = execute_corun(spec)
+        if args.json:
+            print(result_to_json(result))
+            return 0
         print_corun(result, config)
         return 0
     if supervised:
@@ -162,12 +173,17 @@ def main(argv=None):
             else None)
         stats = supervisor.run()[0]
         if not stats.ok:
+            if args.json:
+                print(result_to_json(stats))
             print("run failed permanently: %r" % stats, file=sys.stderr)
             return 1
     else:
         stats = run_workload(args.benchmark, args.scheme, config=config,
                              mode=args.mode, policy=args.policy,
                              limit_refs=args.refs, trace_path=args.trace)
+    if args.json:
+        print(result_to_json(stats))
+        return 0
     print("machine: %s" % config.describe())
     print("%s / %s (%s, policy=%s)" % (args.benchmark, args.scheme,
                                        args.mode, args.policy))

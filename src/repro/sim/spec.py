@@ -64,6 +64,10 @@ def _canonical_json(data):
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+#: Hierarchy modes a spec may name (``perfect_l1``/``perfect_l2`` are
+#: the paper's idealized-cache ablations).
+MODES = ("real", "perfect_l1", "perfect_l2")
+
 #: Replay-backend names a spec may carry.  ``"auto"`` defers the choice
 #: to the runner (``REPRO_BACKEND`` env var, else vectorized when numpy
 #: is available); the other two pin it.  The backend participates in
@@ -333,3 +337,126 @@ class CoRunSpec:
         if self.mode != "real":
             parts.append(self.mode)
         return "/".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Payload dispatch + strict validation (the repro.serve request path)
+# ----------------------------------------------------------------------
+
+#: Keys a serialized RunSpec payload may carry (``RunSpec.to_dict``).
+RUNSPEC_KEYS = frozenset((
+    "workload", "scheme", "mode", "policy", "limit_refs", "scale",
+    "seed", "backend", "config",
+))
+
+#: Keys a serialized CoRunSpec payload may carry (``CoRunSpec.to_dict``).
+CORUNSPEC_KEYS = frozenset(("corun", "backend", "cells"))
+
+
+def _require(condition, message, *args):
+    """Raise ValueError(message % args) unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message % args if args else message)
+
+
+def _validate_run_payload(data):
+    """Reject a malformed serialized RunSpec with a precise ValueError.
+
+    Everything ``RunSpec.from_dict`` tolerates silently — unknown keys,
+    unregistered workload/scheme names, wrong field types, an
+    unconstructible machine config — is an error here, because a network
+    client's typo must surface as a 400 with a reason, not as a worker
+    crash (or a silently-default field) minutes later.
+    """
+    from repro.sim.runner import SCHEMES  # late: runner imports us
+
+    _require(isinstance(data, dict), "spec payload must be an object, "
+             "not %s", type(data).__name__)
+    unknown = set(data) - RUNSPEC_KEYS
+    _require(not unknown, "unknown spec field(s): %s",
+             ", ".join(sorted(unknown)))
+    _require("workload" in data and "scheme" in data,
+             "spec payload needs 'workload' and 'scheme'")
+    workload = data["workload"]
+    _require(isinstance(workload, str), "'workload' must be a string")
+    try:
+        get_workload(workload)
+    except KeyError:
+        raise ValueError("unknown workload %r" % (workload,))
+    scheme = data["scheme"]
+    _require(scheme in SCHEMES, "unknown scheme %r (have: %s)",
+             scheme, ", ".join(sorted(SCHEMES)))
+    mode = data.get("mode", "real")
+    _require(mode in MODES, "unknown mode %r (have: %s)",
+             mode, ", ".join(MODES))
+    _require(isinstance(data.get("policy", "default"), str),
+             "'policy' must be a string")
+    limit = data.get("limit_refs")
+    _require(limit is None or (isinstance(limit, int)
+                               and not isinstance(limit, bool)
+                               and limit > 0),
+             "'limit_refs' must be a positive integer or null")
+    scale = data.get("scale", 1.0)
+    _require(isinstance(scale, (int, float)) and not isinstance(scale, bool)
+             and scale > 0, "'scale' must be a positive number")
+    seed = data.get("seed", 12345)
+    _require(isinstance(seed, int) and not isinstance(seed, bool),
+             "'seed' must be an integer")
+    backend = data.get("backend", "auto")
+    _require(backend in BACKENDS, "unknown backend %r (have: %s)",
+             backend, ", ".join(BACKENDS))
+    config = data.get("config")
+    if config is not None:
+        _require(isinstance(config, dict), "'config' must be an object")
+        try:
+            config_from_dict(config)
+        except (TypeError, ValueError) as exc:
+            raise ValueError("bad machine config: %s" % exc)
+
+
+def _validate_corun_payload(data):
+    """Reject a malformed serialized CoRunSpec with a precise ValueError.
+
+    Validates the envelope, then every cell with
+    :func:`_validate_run_payload`; the cross-cell invariants (shared
+    config, shared mode) are re-checked by ``CoRunSpec.__post_init__``
+    during construction.
+    """
+    unknown = set(data) - CORUNSPEC_KEYS
+    _require(not unknown, "unknown co-run field(s): %s",
+             ", ".join(sorted(unknown)))
+    backend = data.get("backend", "auto")
+    _require(backend in CORUN_BACKENDS,
+             "unknown co-run backend %r (have: %s)",
+             backend, ", ".join(CORUN_BACKENDS))
+    cells = data.get("cells")
+    _require(isinstance(cells, list) and cells,
+             "'cells' must be a non-empty list of spec objects")
+    for i, cell in enumerate(cells):
+        try:
+            _validate_run_payload(cell)
+        except ValueError as exc:
+            raise ValueError("cell %d: %s" % (i, exc))
+
+
+def spec_from_dict(data, strict=False):
+    """Rehydrate a serialized spec of either kind.
+
+    Dispatches on the ``"corun"`` marker :meth:`CoRunSpec.to_dict`
+    plants: a payload carrying it becomes a :class:`CoRunSpec`,
+    everything else a :class:`RunSpec`.  With ``strict=True`` the
+    payload is validated field by field first — unknown keys,
+    unregistered names, and type errors all raise ``ValueError`` with a
+    human-readable reason.  This is the deserializer behind ``POST
+    /runs`` in :mod:`repro.serve`: strict mode is what turns a
+    malformed request body into a 400 instead of a worker-side crash.
+    """
+    _require(isinstance(data, dict), "spec payload must be an object, "
+             "not %s", type(data).__name__)
+    if data.get("corun"):
+        if strict:
+            _validate_corun_payload(data)
+        return CoRunSpec.from_dict(data)
+    if strict:
+        _validate_run_payload(data)
+    return RunSpec.from_dict(data)

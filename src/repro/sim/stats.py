@@ -11,6 +11,7 @@
   counting never-referenced residents as useless.
 """
 
+import json
 
 #: Every serialized field of a run result, in stable order.  ``l1``,
 #: ``l2``, ``hier``, and ``prefetcher`` are plain-dict snapshots; the rest
@@ -354,6 +355,20 @@ class CoRunResult:
     def __repr__(self):
         return "CoRunResult(%s/%s cores=%d fairness=%.3f)" % (
             self.workload, self.scheme, self.n_cores, self.fairness)
+
+
+def result_to_json(result):
+    """Canonical JSON wire form of a RunResult/CoRunResult/RunFailure.
+
+    One encoder shared by every consumer-facing surface — the
+    ``--json`` mode of ``python -m repro.sim`` and the ``repro.serve``
+    ``GET /results/<digest>`` endpoint — so CLI and API consumers see
+    *byte-identical* payloads for the same run: sorted keys, compact
+    separators, no trailing newline.  The inverse is
+    :func:`result_from_dict` over ``json.loads``.
+    """
+    return json.dumps(result.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def result_from_dict(data):

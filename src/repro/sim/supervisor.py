@@ -148,6 +148,85 @@ class Checkpoint:
         return cells
 
 
+class JournalTailer:
+    """Incrementally follow a checkpoint journal as it is appended.
+
+    The streaming half of the journal contract: :class:`Checkpoint`
+    appends one flushed JSONL record per cell-state transition, and a
+    tailer turns that file into a live progress feed — each
+    :meth:`poll` returns only the records appended since the previous
+    poll, while :attr:`cells` accumulates the latest record per cell
+    digest (the same reduction :meth:`Checkpoint.load` performs over a
+    finished journal).  ``repro.serve`` builds both its ``GET
+    /jobs/<id>`` snapshots and its chunked progress stream on this.
+
+    Byte-offset based, so a poll costs one ``open``+``seek``+``read`` of
+    just the new suffix.  A torn final line — the parent dying
+    mid-``write`` — stays buffered until its newline arrives and is
+    simply never surfaced if it never does; a *vanished* journal (file
+    deleted or not yet created) is an empty poll, not an error.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.cells = {}   #: {cell digest: latest record}
+        self.header = None  #: the sweep header record, once seen
+        self._offset = 0
+        self._partial = b""
+
+    def poll(self):
+        """Return the records appended since the last poll (maybe [])."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        self._offset += len(chunk)
+        lines = (self._partial + chunk).split(b"\n")
+        self._partial = lines.pop()  # b"" on a newline-terminated read
+        records = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue  # torn or garbage line; skip it
+            records.append(record)
+            digest = record.get("digest")
+            if digest:
+                self.cells[digest] = record
+            elif record.get("kind") == "sweep":
+                self.header = record
+        return records
+
+    def progress(self):
+        """Summarize the cells seen so far as state counts.
+
+        Returns ``{"total", "done", "failed", "running", "retrying"}``;
+        ``total`` comes from the sweep header when present (0 until
+        then).  ``done`` counts only terminal successes, so
+        ``done + failed == total`` is the finished condition.
+        """
+        counts = {"done": 0, "failed": 0, "running": 0, "retrying": 0}
+        for record in self.cells.values():
+            state = record.get("state")
+            if state == "done":
+                counts["done"] += 1
+            elif state == "failed":
+                counts["failed"] += 1
+            elif state == "retry":
+                counts["retrying"] += 1
+            elif state == "running":
+                counts["running"] += 1
+        counts["total"] = (self.header or {}).get("total", 0)
+        return counts
+
+
 # ----------------------------------------------------------------------
 # Supervisor
 # ----------------------------------------------------------------------

@@ -266,3 +266,74 @@ class TestGracefulExports:
         assert result_from_dict(baseline[0].to_dict()).ok
         assert not result_from_dict(
             RunFailure("a", "b").to_dict()).ok
+
+
+class TestJournalTailer:
+    """Incremental journal following: the serve progress-stream source."""
+
+    def write_journal(self, path, records):
+        with open(path, "a") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_incremental_polls_return_only_new_records(self, tmp_path):
+        from repro.sim.supervisor import JournalTailer
+
+        path = tmp_path / "job.ckpt"
+        tailer = JournalTailer(path)
+        assert tailer.poll() == []  # not created yet: empty, not an error
+        self.write_journal(path, [{"kind": "sweep", "total": 2}])
+        first = tailer.poll()
+        assert [r["kind"] for r in first] == ["sweep"]
+        assert tailer.poll() == []
+        self.write_journal(path, [
+            {"kind": "cell", "state": "running", "digest": "d1"},
+            {"kind": "cell", "state": "done", "digest": "d1"},
+        ])
+        second = tailer.poll()
+        assert [r["state"] for r in second] == ["running", "done"]
+        assert tailer.cells["d1"]["state"] == "done"
+
+    def test_progress_counts_latest_state_per_cell(self, tmp_path):
+        from repro.sim.supervisor import JournalTailer
+
+        path = tmp_path / "job.ckpt"
+        self.write_journal(path, [
+            {"kind": "sweep", "total": 3},
+            {"kind": "cell", "state": "running", "digest": "d1"},
+            {"kind": "cell", "state": "done", "digest": "d1"},
+            {"kind": "cell", "state": "running", "digest": "d2"},
+            {"kind": "cell", "state": "retry", "digest": "d2"},
+            {"kind": "cell", "state": "failed", "digest": "d3"},
+        ])
+        tailer = JournalTailer(path)
+        tailer.poll()
+        progress = tailer.progress()
+        assert progress == {"done": 1, "failed": 1, "running": 0,
+                            "retrying": 1, "total": 3}
+
+    def test_torn_tail_stays_buffered_until_completed(self, tmp_path):
+        from repro.sim.supervisor import JournalTailer
+
+        path = tmp_path / "job.ckpt"
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "sweep", "total": 1}) + "\n")
+            handle.write('{"kind": "cell", "state": "do')  # torn write
+        tailer = JournalTailer(path)
+        assert [r["kind"] for r in tailer.poll()] == ["sweep"]
+        with open(path, "a") as handle:  # the write completes later
+            handle.write('ne", "digest": "d1"}\n')
+        completed = tailer.poll()
+        assert [r["state"] for r in completed] == ["done"]
+
+    def test_matches_checkpoint_load_on_a_real_sweep(self, tmp_path):
+        from repro.sim.supervisor import JournalTailer
+
+        ckpt = str(tmp_path / "sweep.ckpt")
+        SweepSupervisor(SPECS[:2], checkpoint=ckpt).run()
+        tailer = JournalTailer(ckpt)
+        tailer.poll()
+        assert {d: r["state"] for d, r in tailer.cells.items()} == \
+            {d: r["state"] for d, r in Checkpoint.load(ckpt).items()}
+        progress = tailer.progress()
+        assert progress["done"] == 2 and progress["total"] == 2

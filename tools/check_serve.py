@@ -1,0 +1,200 @@
+"""CI gate: the simulation service serves exactly what the engine runs.
+
+Boots a real ``python -m repro.serve`` subprocess on an ephemeral port
+with a fresh cache directory and drives it end to end through the
+stdlib client:
+
+1. **Single-spec byte-identity** — POST a RunSpec, poll the job to
+   completion, GET the result, and diff it byte-for-byte against a
+   direct in-process ``execute()`` of the same spec.
+2. **Co-run byte-identity** — the same for a 2-core CoRunSpec against
+   ``execute_corun()``.
+3. **Cache-hit fast path** — re-POST the already-served spec and assert
+   the job completes with *zero* additional simulation compute (the
+   ``/stats`` computed-cell counter must not move) and that
+   ``If-None-Match`` with the digest ETag answers 304.
+4. **Graceful degradation** — a spec under an injected always-crash
+   fault plan must surface as a ``failed:<kind>`` cell on a *completed*
+   job (the server survives), with 404 for its result.
+5. **Strict validation** — a malformed body answers 400, an unknown
+   digest 404.
+
+Exit status is nonzero the moment any check fails.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_serve.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.serve.client import ServeClient, ServeError
+from repro.sim.config import MachineConfig
+from repro.sim.runner import execute
+from repro.sim.spec import CoRunSpec, RunSpec
+from repro.sim.stats import result_to_json
+
+REFS = 2000
+
+#: The always-crash rule for check 4; everything else runs fault-free.
+FAULT_PLAN = {"faults": [{"kind": "crash", "match": "gzip/stride",
+                          "attempts": [0, 1, 2]}]}
+
+
+def fail(message):
+    print("serve check FAILED: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def start_server(cache_dir):
+    """Launch the server subprocess; return (process, client)."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env["REPRO_FAULT_PLAN"] = json.dumps(FAULT_PLAN)
+    env.setdefault("PYTHONPATH", "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--workers", "2", "--retries", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    deadline = time.monotonic() + 30
+    address = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if line.startswith("serving on "):
+            address = line.split()[-1].strip()
+            break
+    if address is None:
+        process.kill()
+        fail("server never announced its address")
+    return process, ServeClient(address)
+
+
+def run_one(client, spec, timeout=120.0):
+    """Submit one spec; return (digest, terminal job snapshot)."""
+    submitted = client.submit(spec)
+    job = client.wait(submitted["job"], timeout=timeout)
+    return submitted["digests"][0], job
+
+
+def check_single_byte_identity(client):
+    spec = RunSpec.create("swim", "grp", config=MachineConfig.tiny(),
+                          limit_refs=REFS)
+    digest, job = run_one(client, spec)
+    if job["state"] != "done":
+        fail("single-spec job ended %r: %r" % (job["state"], job))
+    status, body, etag = client.result_bytes(digest)
+    expected = result_to_json(execute(spec)).encode()
+    if body != expected:
+        fail("served RunSpec JSON differs from direct execute() "
+             "(%d vs %d bytes)" % (len(body), len(expected)))
+    print("single spec: served result byte-identical to execute() "
+          "(%d bytes, ETag %s)" % (len(body), etag))
+    return spec, digest, etag
+
+
+def check_corun_byte_identity(client):
+    from repro.sim.multicore import execute_corun
+
+    spec = CoRunSpec.create(("mcf", "swim"), "srp",
+                            config=MachineConfig.tiny(), limit_refs=1000)
+    digest, job = run_one(client, spec)
+    if job["state"] != "done":
+        fail("co-run job ended %r: %r" % (job["state"], job))
+    _status, body, _etag = client.result_bytes(digest)
+    expected = result_to_json(execute_corun(spec)).encode()
+    if body != expected:
+        fail("served CoRunSpec JSON differs from direct execute_corun() "
+             "(%d vs %d bytes)" % (len(body), len(expected)))
+    print("co-run spec: served result byte-identical to execute_corun() "
+          "(%d bytes)" % len(body))
+
+
+def check_cache_fast_path(client, spec, digest, etag):
+    before = client.stats()["cells"]["computed"]
+    _digest, job = run_one(client, spec, timeout=30.0)
+    if job["state"] != "done":
+        fail("cached re-POST ended %r" % job["state"])
+    after = client.stats()["cells"]["computed"]
+    if after != before:
+        fail("re-POST of a cached spec recomputed (%d -> %d)"
+             % (before, after))
+    status, body, _etag = client.result_bytes(digest, etag=etag)
+    if status != 304 or body:
+        fail("If-None-Match with the digest ETag answered %d with %d "
+             "bytes (want 304, empty)" % (status, len(body)))
+    print("cache fast path: re-POST cost zero compute; If-None-Match "
+          "-> 304")
+
+
+def check_graceful_degradation(client):
+    spec = RunSpec.create("gzip", "stride", config=MachineConfig.tiny(),
+                          limit_refs=REFS)
+    digest, job = run_one(client, spec)
+    if job["state"] != "done":
+        fail("faulted job must still complete, ended %r" % job["state"])
+    status = job["cells"][0]["status"]
+    if status != "failed:crash":
+        fail("injected crash surfaced as %r (want failed:crash)" % status)
+    try:
+        client.result_bytes(digest)
+    except ServeError as exc:
+        if exc.status != 404:
+            fail("failed cell's result answered %d (want 404)"
+                 % exc.status)
+    else:
+        fail("failed cell unexpectedly served a result")
+    health = client.healthz()
+    if health.get("status") != "ok":
+        fail("server unhealthy after a crashing spec: %r" % health)
+    print("degradation: crashing spec -> failed:crash cell, server "
+          "healthy")
+
+
+def check_validation(client):
+    try:
+        client.submit({"workload": "swim", "scheme": "warp-drive"})
+    except ServeError as exc:
+        if exc.status != 400:
+            fail("malformed spec answered %d (want 400)" % exc.status)
+    else:
+        fail("malformed spec was accepted")
+    try:
+        client.result_bytes("0" * 64)
+    except ServeError as exc:
+        if exc.status != 404:
+            fail("unknown digest answered %d (want 404)" % exc.status)
+    else:
+        fail("unknown digest served a result")
+    print("validation: malformed body -> 400, unknown digest -> 404")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-serve-check-") as tmp:
+        process, client = start_server(os.path.join(tmp, "cache"))
+        try:
+            spec, digest, etag = check_single_byte_identity(client)
+            check_corun_byte_identity(client)
+            check_cache_fast_path(client, spec, digest, etag)
+            check_graceful_degradation(client)
+            check_validation(client)
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    print("serve check passed: HTTP pipeline byte-identical to the "
+          "engine, cache fast path + degradation verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
