@@ -40,7 +40,15 @@ from repro.sim.supervisor import SweepAborted, SweepSupervisor
 # little-endian trace format.  The bump salts ResultCache digests, so
 # entries written by earlier builds (whose specs had no backend field)
 # can never alias results produced under the new dispatch.
-__version__ = "1.7.0"
+# 1.8.0: gaze/chase engines + the arena leaderboard.  The bump salts
+# ResultCache digests so entries cached by pre-arena builds (which
+# could not have simulated the new schemes, and whose scheme namespace
+# was smaller) never alias results under the grown registry.
+# 1.8.1: gaze end-of-generation fix (first-touch misses no longer
+# spuriously recommit; same-PC region transitions commit the old
+# generation).  Gaze results change, so cached 1.8.0 entries must not
+# be served.
+__version__ = "1.8.1"
 
 __all__ = [
     "CoRunResult", "CoRunSpec", "FaultPlan", "MachineConfig", "ResultCache",

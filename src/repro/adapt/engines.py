@@ -14,6 +14,8 @@ attribute after attach and hands it to the CPU replay loops, which call
 """
 
 from repro.adapt.controller import AdaptiveController
+from repro.prefetch.chase import ChasePrefetcher
+from repro.prefetch.gaze import GazePrefetcher
 from repro.prefetch.grp import GRPPrefetcher
 from repro.prefetch.srp import SRPPrefetcher
 from repro.trace.events import IndirectPrefetch
@@ -129,4 +131,80 @@ class AdaptiveGRPPrefetcher(_ThrottledEngineMixin, GRPPrefetcher):
     def stats_snapshot(self):
         snap = super().stats_snapshot()
         snap["suppressed_directives"] = self.suppressed_directives
+        return snap
+
+
+class AdaptiveGazePrefetcher(_ThrottledEngineMixin, GazePrefetcher):
+    """Gaze under feedback control.
+
+    The region-size knob caps how many footprint blocks one replay may
+    queue (Gaze reads it from its pending queue at trigger time), the
+    issue-budget and insertion-depth knobs apply in the controller and
+    L2 as for every engine, and the disable transition flushes the
+    pending queue.  Footprint *learning* continues while disabled —
+    patterns are state, not prefetches — so a re-enable replays with
+    current knowledge, mirroring grp-adaptive's treatment of directive
+    state.
+    """
+
+    name = "gaze-adaptive"
+
+    def __init__(self, policy=None):
+        super().__init__()
+        self._policy_spec = policy
+        self.adapt = None
+        self.suppressed_misses = 0
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self._attach_adapt(hierarchy, config)
+
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        if not self.adapt.knobs.enabled:
+            self.suppressed_misses += 1
+            return
+        super().on_l2_miss(block, addr, ref_id, hint, now)
+
+
+class AdaptiveChasePrefetcher(_ThrottledEngineMixin, ChasePrefetcher):
+    """The pointer-chase engine under feedback control.
+
+    Chases never start while disabled, and in-flight chains stop
+    descending (their continuation fills are suppressed); dependence
+    *learning* continues, as with the other adaptive engines.  The
+    region-size knob has no chase analogue — the engine queues explicit
+    node blocks, not regions — so it lands in the pending queue unused.
+    """
+
+    name = "chase-adaptive"
+
+    def __init__(self, policy=None):
+        super().__init__()
+        self._policy_spec = policy
+        self.adapt = None
+        self.suppressed_misses = 0
+        #: Chain continuations dropped while the throttle had the engine
+        #: disabled.
+        self.suppressed_links = 0
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self._attach_adapt(hierarchy, config)
+
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        if not self.adapt.knobs.enabled:
+            self.suppressed_misses += 1
+            return
+        super().on_l2_miss(block, addr, ref_id, hint, now)
+
+    def on_prefetch_fill(self, request, ready):
+        if request.meta is not None and request.depth > 0 \
+                and not self.adapt.knobs.enabled:
+            self.suppressed_links += 1
+            return
+        super().on_prefetch_fill(request, ready)
+
+    def stats_snapshot(self):
+        snap = super().stats_snapshot()
+        snap["suppressed_links"] = self.suppressed_links
         return snap

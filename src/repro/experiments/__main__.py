@@ -33,6 +33,7 @@ import time
 
 from repro.experiments import (
     adaptive,
+    arena,
     corun,
     fig1,
     fig9,
@@ -73,12 +74,14 @@ RUNNERS = {
     "adaptive": lambda ctx: [adaptive.run(ctx), adaptive.run_recovery(ctx)],
     "corun": lambda ctx: [corun.run(ctx), corun.run_rush_hour(ctx),
                           corun.run_recovery(ctx)],
+    "arena": lambda ctx: [arena.run(ctx), arena.run_frontiers(ctx)],
 }
 
 #: Experiments that consume the standard single-core simulation matrix
-#: (table3 only runs the compiler; corun builds its own CoRunSpec cells);
+#: (table3 only runs the compiler; corun builds its own CoRunSpec cells;
+#: the arena declares its own all-schemes matrix via ctx.prefetch);
 #: selecting any of these warms the full matrix up-front.
-SIM_RUNNERS = frozenset(RUNNERS) - {"table3", "corun"}
+SIM_RUNNERS = frozenset(RUNNERS) - {"table3", "corun", "arena"}
 
 
 def _done_cells(checkpoint):

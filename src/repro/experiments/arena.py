@@ -1,0 +1,288 @@
+"""The prefetcher arena: every registered scheme, head to head.
+
+The paper's Table 1 compares three contestants; the arena grows it into
+a living leaderboard over the *whole* scheme registry
+(:data:`repro.sim.runner.SCHEMES`) × all 18 workloads ×
+{traffic, pollution, timeliness, CPI}.  Two tables come out:
+
+* **Leaderboard** — per scheme, the suite geomeans (speedup, traffic
+  ratio), mean coverage, pollution per kilo-reference, the timely
+  fraction of useful prefetches, and how many workloads place the
+  scheme on each Pareto frontier.
+* **Frontiers** — per workload, which schemes are Pareto-optimal for
+  the two canonical trade-offs: **coverage vs. traffic** (how much of
+  the miss stream you remove per byte of DRAM traffic you add) and
+  **CPI vs. pollution** (how fast you run per demand miss you cause).
+
+A scheme sits on a frontier when no other scheme is at least as good on
+both axes and strictly better on one; the ``none`` baseline anchors
+both frontiers (zero coverage at 1.0× traffic, zero pollution at
+baseline CPI), so every other frontier member earned its seat by
+beating a real trade-off, not a vacuum.
+
+Because new schemes register in ``SCHEMES`` and nothing here names them
+explicitly, a freshly added engine joins the arena — and the generated
+``docs/SCHEMES.md`` reference — with no changes to this module.
+"""
+
+import csv
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    ExperimentContext,
+    ExperimentResult,
+    rnd,
+)
+from repro.sim.runner import SCHEMES
+from repro.sim.stats import geometric_mean
+
+#: Arena contestants: every registered scheme, baseline included,
+#: stable-sorted so tables and CSVs render deterministically.
+ARENA_SCHEMES = sorted(SCHEMES)
+
+#: Column order of the arena CSV (see :func:`arena_rows`).
+ARENA_COLUMNS = (
+    "workload", "scheme", "ipc", "cpi", "speedup", "traffic_ratio",
+    "coverage", "accuracy", "pollution_misses", "pollution_per_kref",
+    "timely", "late", "timeliness", "frontier_cov_traffic",
+    "frontier_cpi_pollution",
+)
+
+
+def pareto_front(points):
+    """Names of the non-dominated points in ``{name: (x, y)}``.
+
+    Both axes are higher-is-better (negate a cost axis before calling).
+    ``name`` is dominated when some other point is >= on both axes and
+    strictly better on at least one; coincident points survive together.
+    None-valued points (failed cells) never make the frontier and never
+    dominate.
+    """
+    alive = []
+    for name, point in points.items():
+        if point[0] is None or point[1] is None:
+            continue
+        alive.append((name, point))
+    front = []
+    for name, (x, y) in alive:
+        dominated = False
+        for other, (ox, oy) in alive:
+            if other == name:
+                continue
+            if ox >= x and oy >= y and (ox > x or oy > y):
+                dominated = True
+                break
+        if not dominated:
+            front.append(name)
+    return sorted(front)
+
+
+class _Cell:
+    """Derived metrics for one (workload, scheme) arena cell."""
+
+    __slots__ = ("ok", "ipc", "cpi", "speedup", "traffic_ratio", "coverage",
+                 "accuracy", "pollution", "pollution_per_kref", "timely",
+                 "late", "timeliness")
+
+    def __init__(self, stats, base):
+        self.ok = stats.ok and base.ok
+        if not self.ok:
+            for name in self.__slots__[1:]:
+                setattr(self, name, None)
+            return
+        self.ipc = stats.ipc
+        self.cpi = (stats.cycles / stats.instructions
+                    if stats.instructions else 0.0)
+        self.speedup = stats.speedup_over(base)
+        self.traffic_ratio = stats.traffic_ratio_over(base)
+        self.coverage = stats.coverage_over(base)
+        self.accuracy = stats.prefetch_accuracy
+        self.pollution = stats.pollution_misses
+        refs = stats.hier.get("loads", 0) + stats.hier.get("stores", 0)
+        self.pollution_per_kref = (
+            1000.0 * stats.pollution_misses / refs if refs else 0.0)
+        self.timely = stats.timely_prefetches
+        self.late = stats.late_prefetches
+        used = self.timely + self.late
+        self.timeliness = self.timely / used if used else None
+
+
+def _collect(ctx, benchmarks=None, schemes=None):
+    """Resolve the full arena matrix; return {(bench, scheme): _Cell}."""
+    benchmarks = benchmarks or ALL_BENCHMARKS
+    schemes = schemes or ARENA_SCHEMES
+    if "none" not in schemes:
+        schemes = ["none"] + list(schemes)
+    ctx.prefetch([ctx.spec(b, s) for b in benchmarks for s in schemes])
+    cells = {}
+    for bench in benchmarks:
+        base = ctx.run(bench, "none")
+        for scheme in schemes:
+            cells[(bench, scheme)] = _Cell(ctx.run(bench, scheme), base)
+    return cells
+
+
+def _frontiers(cells, benchmarks, schemes):
+    """Per-workload Pareto frontiers for the two metric pairs.
+
+    Returns ``(cov_traffic, cpi_pollution)``, each a dict
+    {workload: sorted frontier scheme names}.
+    """
+    cov_traffic = {}
+    cpi_pollution = {}
+    for bench in benchmarks:
+        ct_points = {}
+        cp_points = {}
+        for scheme in schemes:
+            cell = cells[(bench, scheme)]
+            if not cell.ok:
+                continue
+            # Higher-is-better on both axes: negate the cost axes.
+            ct_points[scheme] = (cell.coverage, -cell.traffic_ratio)
+            cp_points[scheme] = (-cell.cpi, -cell.pollution_per_kref)
+        cov_traffic[bench] = pareto_front(ct_points)
+        cpi_pollution[bench] = pareto_front(cp_points)
+    return cov_traffic, cpi_pollution
+
+
+def arena_rows(ctx, benchmarks=None, schemes=None):
+    """The arena matrix as plain dict rows (:data:`ARENA_COLUMNS` order).
+
+    One row per (workload, scheme) cell, frontier membership included —
+    this is the CSV/leaderboard substrate, shared by :func:`run`, the
+    CSV writer, and the schema gate.
+    """
+    benchmarks = benchmarks or ALL_BENCHMARKS
+    schemes = schemes or ARENA_SCHEMES
+    if "none" not in schemes:
+        schemes = ["none"] + list(schemes)
+    cells = _collect(ctx, benchmarks, schemes)
+    cov_traffic, cpi_pollution = _frontiers(cells, benchmarks, schemes)
+    rows = []
+    for bench in benchmarks:
+        for scheme in schemes:
+            cell = cells[(bench, scheme)]
+            rows.append({
+                "workload": bench,
+                "scheme": scheme,
+                "ipc": rnd(cell.ipc),
+                "cpi": rnd(cell.cpi),
+                "speedup": rnd(cell.speedup),
+                "traffic_ratio": rnd(cell.traffic_ratio),
+                "coverage": rnd(cell.coverage),
+                "accuracy": rnd(cell.accuracy),
+                "pollution_misses": cell.pollution,
+                "pollution_per_kref": rnd(cell.pollution_per_kref),
+                "timely": cell.timely,
+                "late": cell.late,
+                "timeliness": rnd(cell.timeliness),
+                "frontier_cov_traffic":
+                    int(scheme in cov_traffic[bench]),
+                "frontier_cpi_pollution":
+                    int(scheme in cpi_pollution[bench]),
+            })
+    return rows
+
+
+def write_arena_csv(path, rows):
+    """Write arena rows as CSV (``ARENA_COLUMNS`` header; None -> "")."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=ARENA_COLUMNS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({
+                key: "" if row[key] is None else row[key]
+                for key in ARENA_COLUMNS
+            })
+
+
+def read_arena_csv(path):
+    """Read an arena CSV back into a list of string-valued dict rows."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def run(ctx, benchmarks=None):
+    """The leaderboard: suite-wide aggregates + frontier seat counts."""
+    benchmarks = benchmarks or ALL_BENCHMARKS
+    schemes = ARENA_SCHEMES
+    cells = _collect(ctx, benchmarks, schemes)
+    cov_traffic, cpi_pollution = _frontiers(cells, benchmarks, schemes)
+    rows = []
+    for scheme in schemes:
+        mine = [cells[(bench, scheme)] for bench in benchmarks]
+        ok = [c for c in mine if c.ok]
+        speedups = [c.speedup for c in ok]
+        traffics = [c.traffic_ratio for c in ok]
+        coverages = [c.coverage for c in ok]
+        pollution = [c.pollution_per_kref for c in ok]
+        timely = sum(c.timely for c in ok)
+        late = sum(c.late for c in ok)
+        used = timely + late
+        rows.append([
+            scheme,
+            rnd(geometric_mean(speedups)) if speedups else None,
+            rnd(geometric_mean(traffics)) if traffics else None,
+            rnd(sum(coverages) / len(coverages)) if coverages else None,
+            rnd(sum(pollution) / len(pollution)) if pollution else None,
+            rnd(timely / used) if used else None,
+            sum(1 for b in benchmarks if scheme in cov_traffic[b]),
+            sum(1 for b in benchmarks if scheme in cpi_pollution[b]),
+        ])
+    # Leaderboard order: best geomean speedup first (None sinks).
+    rows.sort(key=lambda row: (row[1] is None, -(row[1] or 0.0), row[0]))
+    notes = (
+        "All %d workloads x %d schemes at %s refs/run.  cov/traf and "
+        "cpi/pol count the workloads whose Pareto frontier "
+        "(coverage-vs-traffic, CPI-vs-pollution) includes the scheme; "
+        "'none' anchors both frontiers.  pollution is per 1000 memory "
+        "references; timeliness is the timely fraction of useful "
+        "prefetches." % (len(benchmarks), len(schemes),
+                         ctx.limit_refs or "default")
+    )
+    return ExperimentResult(
+        "Arena leaderboard (all schemes x all workloads)",
+        ["scheme", "speedup", "traffic", "coverage", "pollution/kref",
+         "timeliness", "cov/traf", "cpi/pol"],
+        rows,
+        notes=ctx.annotate(notes),
+    )
+
+
+def run_frontiers(ctx, benchmarks=None):
+    """Per-workload frontier membership for both metric pairs."""
+    benchmarks = benchmarks or ALL_BENCHMARKS
+    schemes = ARENA_SCHEMES
+    cells = _collect(ctx, benchmarks, schemes)
+    cov_traffic, cpi_pollution = _frontiers(cells, benchmarks, schemes)
+    rows = [
+        [bench,
+         ", ".join(cov_traffic[bench]) or "n/a",
+         ", ".join(cpi_pollution[bench]) or "n/a"]
+        for bench in benchmarks
+    ]
+    notes = (
+        "How to read the frontier: within one workload, each listed "
+        "scheme is Pareto-optimal for that metric pair — no other "
+        "scheme matches or beats it on both axes while strictly beating "
+        "it on one.  Moving along a frontier trades one axis for the "
+        "other; schemes absent from a row are strictly dominated there "
+        "and can be ignored for that trade-off."
+    )
+    return ExperimentResult(
+        "Arena Pareto frontiers (per workload)",
+        ["workload", "coverage-vs-traffic", "CPI-vs-pollution"],
+        rows,
+        notes=ctx.annotate(notes),
+    )
+
+
+def main(csv_path=None, refs=40_000, jobs=1):
+    """Convenience entry: run the arena and optionally write the CSV."""
+    from repro.sim.cache import ResultCache
+    ctx = ExperimentContext(limit_refs=refs, jobs=jobs, cache=ResultCache())
+    leaderboard = run(ctx)
+    frontiers = run_frontiers(ctx)
+    if csv_path:
+        write_arena_csv(csv_path, arena_rows(ctx))
+    return leaderboard, frontiers

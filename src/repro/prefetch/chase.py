@@ -1,0 +1,251 @@
+"""Dependence-based pointer-chase prefetching (Roth et al.; arXiv
+1801.08088 surveys the family).
+
+Where the stateless ``pointer`` scheme scans every returned line for
+anything that looks like a pointer, this engine learns *which* static
+loads produce addresses that later loads consume, then chases only those
+dependences down the linked structure — chained, ahead of the program.
+
+Mechanics (the static reference id stands in for the PC):
+
+* A small window remembers the last few **produced pointer values**,
+  captured through two channels: loads whose own word passes the heap
+  base-and-bounds check (the link load reached the L2 itself — tree
+  walks), and pointer words found by scanning each demand-filled line
+  (the link rode in on a neighbouring field's miss — big-struct list
+  walks whose link loads always hit the L1).  Either way the value is
+  attributed to the static load that triggered it.
+* Every L2 access is checked against the window: an address within
+  ``max_span`` bytes *above* a recently produced value is a **consumer**
+  of that producer, and the (producer PC → offset) pair gains confidence
+  in the dependence table.  For a linked-list or tree walk the producer
+  and consumer are the same static load (``p = p->next``), so a PC's
+  own confident offsets describe where within the next node it will
+  land.
+* A demand **miss by a known producer** starts a chase: the produced
+  value (the missed load's own word, or failing that the pointers in
+  the missed line) names the next node, whose blocks
+  (``config.pointer_blocks`` of them) are queued.  When the node's line
+  arrives — or was already resident — the chase **continues**: the
+  engine reads the node's link fields (confident learned offsets first,
+  a bounded pointer scan of the node's block as fallback) and descends
+  up to ``config.recursive_depth`` levels like the recursive pointer
+  scheme, but only from learned dependence sites instead of from every
+  demand fill in the program.
+
+Prefetched lines land in the L2; issue goes through the shared
+head-stable :class:`~repro.prefetch.pending.PendingQueue`, so the
+controller's idle-channel prioritizer, MSHR bounds, and blocked-issue
+cache all apply unchanged.
+"""
+
+from collections import OrderedDict, deque
+
+from repro.mem.controller import PrefetchRequest
+from repro.mem.layout import block_base
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.pending import PendingQueue
+
+
+class ChasePrefetcher(Prefetcher):
+    """Learned load-to-address dependences, chased ahead of the program."""
+
+    name = "chase"
+
+    def __init__(self, window=16, table_entries=256, offsets_per_entry=4,
+                 max_span=256, confident=2, fanout=2):
+        super().__init__()
+        self.window_size = window
+        self.table_entries = table_entries
+        self.offsets_per_entry = offsets_per_entry
+        #: A consumer address must land within this many bytes above a
+        #: produced value to count as dereferencing it (structure span).
+        self.max_span = max_span
+        self.confident = confident
+        #: Link offsets followed per node when continuing a chase (trees
+        #: fan out; lists need one).
+        self.fanout = fanout
+        self._window = deque(maxlen=window)  # (producer pc, value)
+        self._table = OrderedDict()  # pc -> OrderedDict {offset: conf}
+        self.pointer_loads = 0
+        self.fill_scan_pointers = 0
+        self.dependences_trained = 0
+        self.chases_started = 0
+        self.links_followed = 0
+        self.scan_fallbacks = 0
+        self.nodes_prefetched = 0
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self._resident_map = hierarchy.l2.resident_map
+        self.queue = PendingQueue(
+            config.prefetch_queue_size * 8,
+            config.region_size,
+            config.block_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def _train(self, pc, offset):
+        table = self._table
+        entry = table.get(pc)
+        if entry is None:
+            if len(table) >= self.table_entries:
+                table.popitem(last=False)
+            entry = table[pc] = OrderedDict()
+        else:
+            table.move_to_end(pc)
+        conf = entry.get(offset)
+        if conf is None:
+            if len(entry) >= self.offsets_per_entry:
+                entry.popitem(last=False)
+            entry[offset] = 1
+        else:
+            entry[offset] = min(conf + 1, 3)
+            entry.move_to_end(offset)
+        self.dependences_trained += 1
+
+    def on_l2_access(self, block, addr, ref_id, hint, now, was_hit):
+        if ref_id is None:
+            return
+        # Consumer check: does this address dereference a recent value?
+        window = self._window
+        for i in range(len(window) - 1, -1, -1):
+            pc, value = window[i]
+            delta = addr - value
+            if 0 <= delta < self.max_span:
+                self._train(pc, delta)
+                break
+        # Producer capture: does this access load a heap pointer?
+        value = self.space.load_word(addr)
+        if value is not None and self.space.is_heap_address(value):
+            window.append((ref_id, value))
+            self.pointer_loads += 1
+
+    def on_demand_fill(self, block, ref_id, hint, ready):
+        # Second producer channel: links that never miss the L1
+        # themselves (a big struct's ``next`` shares a block with the
+        # field whose miss fetched it) surface here, in the line the
+        # miss brought back, attributed to the missing PC.
+        if ref_id is None:
+            return
+        window = self._window
+        for value in self.space.scan_pointers(block,
+                                              self.config.block_size):
+            window.append((ref_id, value))
+            self.fill_scan_pointers += 1
+
+    # ------------------------------------------------------------------
+    # Trigger / chase
+    # ------------------------------------------------------------------
+    def _confident_offsets(self, pc):
+        entry = self._table.get(pc)
+        if entry is None:
+            return ()
+        offsets = [(conf, off) for off, conf in entry.items()
+                   if conf >= self.confident]
+        offsets.sort(key=lambda item: (-item[0], item[1]))
+        return [off for _, off in offsets[:self.fanout]]
+
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        if ref_id is None or not self._confident_offsets(ref_id):
+            return
+        # The produced value: the missed load's own word when it is a
+        # pointer (tree walks), else the pointers riding in the missed
+        # line (list walks whose links L1-hit; the fill will carry
+        # them, so the chase may read them now).
+        value = self.space.load_word(addr)
+        if value is not None and self.space.is_heap_address(value):
+            targets = (value,)
+        else:
+            targets = self.space.scan_pointers(
+                block, self.config.block_size)[:self.fanout]
+        if not targets:
+            return
+        self.chases_started += 1
+        for target in targets:
+            self._queue_node(target, ref_id, self.config.recursive_depth,
+                             now)
+
+    def _queue_node(self, node, pc, depth, now):
+        """Queue the blocks of one structure node; arm the continuation."""
+        self.nodes_prefetched += 1
+        bsize = self.config.block_size
+        base = block_base(node, bsize)
+        resident = self._resident_map
+        # The continuation rides on the node's first queued block; when
+        # every block is already resident there is nothing to wait for,
+        # so the chase continues immediately.
+        meta = (node, pc) if depth > 0 else None
+        for i in range(self.config.pointer_blocks):
+            target = base + i * bsize
+            if target in resident:
+                continue
+            self.queue.push(PrefetchRequest(target, now, depth=depth,
+                                            meta=meta))
+            meta = None
+        if meta is not None:
+            self._follow(node, pc, depth, now)
+
+    def _follow(self, node, pc, depth, now):
+        """Descend one level: read the node's link fields.
+
+        Confident learned offsets are tried first (exact link slots —
+        tree walks learn them directly); when none holds a pointer the
+        node's base block is scanned instead, bounded by the fan-out
+        (list walks whose learned offsets are data fields).
+        """
+        targets = []
+        for offset in self._confident_offsets(pc):
+            target = self.space.load_word(node + offset)
+            if target is not None and target != node \
+                    and self.space.is_heap_address(target):
+                targets.append(target)
+        if not targets:
+            targets = [
+                value for value in self.space.scan_pointers(
+                    block_base(node, self.config.block_size),
+                    self.config.block_size)
+                if value != node
+            ][:self.fanout]
+            if targets:
+                self.scan_fallbacks += 1
+        for target in targets[:self.fanout]:
+            self.links_followed += 1
+            self._queue_node(target, pc, depth - 1, now)
+
+    def on_prefetch_fill(self, request, ready):
+        meta = request.meta
+        if meta is None or request.depth <= 0:
+            return
+        node, pc = meta
+        self._follow(node, pc, request.depth, ready)
+
+    # ------------------------------------------------------------------
+    # Candidate supply (delegated to the pending queue)
+    # ------------------------------------------------------------------
+    def has_candidates(self):
+        return self.queue.has_candidates()
+
+    def pop_candidate(self, now, dram):
+        return self.queue.pop_candidate(now, dram)
+
+    def push_back(self, request):
+        self.queue.push_back(request)
+
+    def stats_snapshot(self):
+        snap = super().stats_snapshot()
+        snap.update(
+            pointer_loads=self.pointer_loads,
+            fill_scan_pointers=self.fill_scan_pointers,
+            scan_fallbacks=self.scan_fallbacks,
+            dependences_trained=self.dependences_trained,
+            dependences_live=len(self._table),
+            chases_started=self.chases_started,
+            links_followed=self.links_followed,
+            nodes_prefetched=self.nodes_prefetched,
+            candidates_queued=self.queue.candidates_queued,
+            dropped_overflow=self.queue.dropped_overflow,
+        )
+        return snap

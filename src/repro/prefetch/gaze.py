@@ -1,0 +1,245 @@
+"""Gaze-style spatial-pattern prefetching (Zhang et al., arXiv 2412.05211).
+
+A modernization of SRP's region idea: instead of blindly fetching every
+block of a missed region, learn *which* blocks of a region each static
+load actually touches — its spatial **footprint** — and replay only
+those, in the order they were touched, the next time the same load
+triggers a fresh region.
+
+Mechanics (adapted to this simulator's trace model, where the static
+reference id stands in for the PC):
+
+* An **active generation table** (AGT) tracks regions currently being
+  observed.  The first L2 access to an untracked region opens a
+  *generation* anchored at that access — the trigger PC and the trigger
+  block's index within the region.  Every later first touch of another
+  block in the region sets its bit in the footprint bit-vector *and*
+  appends its offset-from-trigger to the generation's temporal order
+  list, so the footprint remembers not just *which* blocks but *in what
+  order* the program wanted them.
+* A generation ends when its AGT entry is evicted (LRU, fixed
+  capacity), when a block already in the footprint **misses again** —
+  evidence the region's lines have aged out of the L2 and the program
+  has come back around — or when its **trigger PC opens a generation
+  in another region** (the streaming signal: the load moved on, so the
+  footprint it left behind is complete).  The closing footprint is
+  committed to a **pattern history table** (PHT) keyed by the trigger
+  PC.
+* A demand miss that opens a generation is a **trigger**: if the PHT
+  holds a pattern for the missing PC, the pattern is replayed — each
+  stored delta is rebased onto the new trigger block (wrapping within
+  the region) and queued in the stored temporal order, skipping blocks
+  already resident.  Replay length is capped by the queue's
+  ``region_size`` knob, which is what the adaptive throttle shrinks.
+
+Prefetched lines land in the L2 like SRP/GRP region prefetches; issue
+goes through the shared :class:`~repro.prefetch.pending.PendingQueue`,
+so the memory controller's idle-channel prioritizer and blocked-issue
+cache apply unchanged.
+"""
+
+from collections import OrderedDict
+
+from repro.mem.controller import PrefetchRequest
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.pending import PendingQueue
+
+
+class Generation:
+    """One region under observation: trigger anchor + footprint so far."""
+
+    __slots__ = ("base", "trigger_pc", "trigger_index", "bitvec", "order",
+                 "replayed", "last_touch_fresh")
+
+    def __init__(self, base, trigger_pc, trigger_index):
+        self.base = base
+        self.trigger_pc = trigger_pc
+        self.trigger_index = trigger_index
+        self.bitvec = 1 << trigger_index
+        #: Offsets-from-trigger (mod region blocks) in first-touch order;
+        #: the trigger block itself (delta 0) is never recorded.
+        self.order = []
+        self.replayed = False
+        #: Whether the most recent access to this region was a first
+        #: touch.  The access hook fires before the miss hook and sets
+        #: the footprint bit, so the miss hook needs this to tell a
+        #: first-touch miss (footprint growth) from a genuine re-miss
+        #: (the region's lines aged out of the L2).
+        self.last_touch_fresh = True
+
+
+class GazePrefetcher(Prefetcher):
+    """Per-PC region footprints with temporal-order replay."""
+
+    name = "gaze"
+
+    def __init__(self, agt_entries=64, pht_entries=512, min_footprint=1):
+        super().__init__()
+        self.agt_entries = agt_entries
+        self.pht_entries = pht_entries
+        #: Minimum non-trigger blocks a footprint needs to be committed;
+        #: single-block generations carry no spatial information.
+        self.min_footprint = min_footprint
+        self._agt = OrderedDict()  # region base -> Generation (LRU order)
+        self._pht = OrderedDict()  # trigger pc -> tuple of deltas (LRU)
+        #: trigger pc -> region base of the generation it anchors.  A
+        #: streaming load triggers region after region; the old
+        #: generation would otherwise linger in the AGT until LRU
+        #: eviction, starving the PHT.  When a PC opens a generation in
+        #: a *new* region, the one it anchored before has clearly ended
+        #: — commit it then.
+        self._by_pc = {}
+        self.generations_opened = 0
+        self.patterns_committed = 0
+        self.replays = 0
+        self.replayed_blocks = 0
+
+    def attach(self, hierarchy, space, config):
+        super().attach(hierarchy, space, config)
+        self._region_mask = config.region_size - 1
+        self._block_shift = config.block_size.bit_length() - 1
+        self._nblocks = config.region_size // config.block_size
+        self._resident_map = hierarchy.l2.resident_map
+        # Same candidate headroom a full region queue could hold.
+        self.queue = PendingQueue(
+            config.prefetch_queue_size * self._nblocks,
+            config.region_size,
+            config.block_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def _open_generation(self, rbase, ref_id, index):
+        """Start observing ``rbase``; close what this opening ends.
+
+        Two generations end here: the one this PC anchored in another
+        region (the load moved on — the streaming end-of-generation
+        signal), and the AGT's LRU victim when the table is full.
+        """
+        agt = self._agt
+        if ref_id is not None:
+            old_rbase = self._by_pc.pop(ref_id, None)
+            if old_rbase is not None and old_rbase != rbase:
+                old = agt.pop(old_rbase, None)
+                if old is not None:
+                    self._commit(old)
+        if len(agt) >= self.agt_entries:
+            _, victim = agt.popitem(last=False)
+            if victim.trigger_pc is not None \
+                    and self._by_pc.get(victim.trigger_pc) == victim.base:
+                del self._by_pc[victim.trigger_pc]
+            self._commit(victim)
+        gen = Generation(rbase, ref_id, index)
+        agt[rbase] = gen
+        if ref_id is not None:
+            self._by_pc[ref_id] = rbase
+        self.generations_opened += 1
+        return gen
+
+    def _commit(self, gen):
+        """Fold a closing generation's footprint into the PHT."""
+        if gen.trigger_pc is None or len(gen.order) < self.min_footprint:
+            return
+        pht = self._pht
+        if gen.trigger_pc in pht:
+            del pht[gen.trigger_pc]
+        elif len(pht) >= self.pht_entries:
+            pht.popitem(last=False)
+        pht[gen.trigger_pc] = tuple(gen.order)
+        self.patterns_committed += 1
+
+    def on_l2_access(self, block, addr, ref_id, hint, now, was_hit):
+        rbase = block & ~self._region_mask
+        index = (block & self._region_mask) >> self._block_shift
+        agt = self._agt
+        gen = agt.get(rbase)
+        if gen is None:
+            self._open_generation(rbase, ref_id, index)
+            return
+        agt.move_to_end(rbase)
+        bit = 1 << index
+        if not gen.bitvec & bit:
+            gen.bitvec |= bit
+            gen.order.append((index - gen.trigger_index) % self._nblocks)
+            gen.last_touch_fresh = True
+        else:
+            gen.last_touch_fresh = False
+
+    # ------------------------------------------------------------------
+    # Trigger / replay
+    # ------------------------------------------------------------------
+    def on_l2_miss(self, block, addr, ref_id, hint, now):
+        rbase = block & ~self._region_mask
+        index = (block & self._region_mask) >> self._block_shift
+        gen = self._agt.get(rbase)
+        if gen is None:  # reference-path robustness; access hook ran first
+            gen = self._open_generation(rbase, ref_id, index)
+        if (not gen.replayed and index == gen.trigger_index
+                and gen.bitvec == 1 << gen.trigger_index):
+            # The miss that opened this generation: a fresh trigger.
+            gen.replayed = True
+            self._replay(rbase, index, ref_id, now)
+            return
+        if gen.order and gen.bitvec & (1 << index) \
+                and not gen.last_touch_fresh:
+            # Re-miss on a block the footprint already recorded — not
+            # the first-touch miss that just set the bit in the access
+            # hook: the region's lines aged out of the L2.  Close the
+            # generation and restart it, anchored (and replayed) at
+            # this miss.
+            self._commit(gen)
+            del self._agt[rbase]
+            gen = self._open_generation(rbase, ref_id, index)
+            gen.replayed = True
+            self._replay(rbase, index, ref_id, now)
+
+    def _replay(self, rbase, trigger_index, ref_id, now):
+        if ref_id is None:
+            return
+        pattern = self._pht.get(ref_id)
+        if pattern is None:
+            return
+        self._pht.move_to_end(ref_id)
+        bsize = self.config.block_size
+        nblocks = self._nblocks
+        # The adaptive throttle's region-size knob caps how many blocks
+        # one replay may queue (the full region at the default setting).
+        limit = max(1, self.queue.region_size // bsize) - 1
+        resident = self._resident_map
+        queued = 0
+        for delta in pattern:
+            if queued >= limit:
+                break
+            target = rbase + ((trigger_index + delta) % nblocks) * bsize
+            if target in resident:
+                continue
+            self.queue.push(PrefetchRequest(target, now))
+            queued += 1
+        self.replays += 1
+        self.replayed_blocks += queued
+
+    # ------------------------------------------------------------------
+    # Candidate supply (delegated to the pending queue)
+    # ------------------------------------------------------------------
+    def has_candidates(self):
+        return self.queue.has_candidates()
+
+    def pop_candidate(self, now, dram):
+        return self.queue.pop_candidate(now, dram)
+
+    def push_back(self, request):
+        self.queue.push_back(request)
+
+    def stats_snapshot(self):
+        snap = super().stats_snapshot()
+        snap.update(
+            generations_opened=self.generations_opened,
+            patterns_committed=self.patterns_committed,
+            patterns_live=len(self._pht),
+            replays=self.replays,
+            replayed_blocks=self.replayed_blocks,
+            candidates_queued=self.queue.candidates_queued,
+            dropped_overflow=self.queue.dropped_overflow,
+        )
+        return snap

@@ -11,26 +11,28 @@ constructs the RunSpec and calls :func:`execute`.
 
 Schemes
 -------
-============  ======================================================
-none          no prefetching (baseline; also perfect-L1/L2 modes)
-stride        predictor-directed stream buffers (Sherwood et al.)
-srp           scheduled region prefetching (hardware only)
-srp-adaptive  SRP under the runtime feedback throttle (repro.adapt)
-pointer       stateless content-directed pointer prefetching
-pointer-recursive   the same, chasing ``recursive_depth`` levels
-grp           guided region prefetching, variable regions (GRP/Var)
-grp-fix       GRP with fixed-size regions only (GRP/Fix)
-grp-hintbit   GRP with the alternate indirect encoding (Section 3.3.3)
-grp-adaptive  GRP with the same feedback control plane layered on
-============  ======================================================
+The :data:`SCHEMES` registry below is the single source of truth for
+which prefetch engines exist; every enumeration elsewhere — both CLIs'
+``--scheme`` help, the experiment runners, and the generated
+``docs/SCHEMES.md`` reference page (``tools/gen_scheme_docs.py``) — is
+derived from it, so a newly registered scheme shows up everywhere
+without further edits.
 """
 
 import os
 
-from repro.adapt.engines import AdaptiveGRPPrefetcher, AdaptiveSRPPrefetcher
+from repro.adapt.engines import (
+    AdaptiveChasePrefetcher,
+    AdaptiveGazePrefetcher,
+    AdaptiveGRPPrefetcher,
+    AdaptiveSRPPrefetcher,
+)
 from repro.compiler.driver import compile_hints
 from repro.mem.space import AddressSpace
 from repro.metrics import TraceSink
+from repro.prefetch.base import NullPrefetcher
+from repro.prefetch.chase import ChasePrefetcher
+from repro.prefetch.gaze import GazePrefetcher
 from repro.prefetch.grp import GRPPrefetcher
 from repro.prefetch.pointer import PointerPrefetcher, RecursivePointerPrefetcher
 from repro.prefetch.srp import SRPPrefetcher
@@ -44,34 +46,66 @@ from repro.workloads.base import Workload, get_workload
 
 
 class SchemeSpec:
-    """How to build the prefetcher (and whether the binary carries hints)."""
+    """How to build the prefetcher (and whether the binary carries hints).
+
+    ``engine`` names the prefetcher class the factory instantiates (None
+    for the no-prefetching baseline) and ``summary`` is the registry
+    entry's one-line description; both exist so documentation —
+    ``docs/SCHEMES.md`` via ``tools/gen_scheme_docs.py``, the CLI help
+    epilogs — can be generated from the registry instead of drifting in
+    prose.
+    """
 
     def __init__(self, factory, hinted=False, variable_regions=True,
-                 indirect_mode="instruction"):
+                 indirect_mode="instruction", engine=None, summary=""):
         self.factory = factory
         self.hinted = hinted
         self.variable_regions = variable_regions
         self.indirect_mode = indirect_mode
+        self.engine = engine
+        self.summary = summary
 
 
 SCHEMES = {
-    "none": SchemeSpec(lambda result: None),
-    "stride": SchemeSpec(lambda result: StridePrefetcher()),
-    "srp": SchemeSpec(lambda result: SRPPrefetcher()),
-    "pointer": SchemeSpec(lambda result: PointerPrefetcher()),
+    "none": SchemeSpec(
+        lambda result: None,
+        engine=NullPrefetcher,
+        summary="no prefetching (baseline; also the perfect-L1/L2 modes)",
+    ),
+    "stride": SchemeSpec(
+        lambda result: StridePrefetcher(),
+        engine=StridePrefetcher,
+        summary="predictor-directed stream buffers (Sherwood et al.)",
+    ),
+    "srp": SchemeSpec(
+        lambda result: SRPPrefetcher(),
+        engine=SRPPrefetcher,
+        summary="scheduled region prefetching, hardware only (SRP)",
+    ),
+    "pointer": SchemeSpec(
+        lambda result: PointerPrefetcher(),
+        engine=PointerPrefetcher,
+        summary="stateless content-directed pointer prefetching",
+    ),
     "pointer-recursive": SchemeSpec(
-        lambda result: RecursivePointerPrefetcher()
+        lambda result: RecursivePointerPrefetcher(),
+        engine=RecursivePointerPrefetcher,
+        summary="pointer prefetching chased recursive_depth levels deep",
     ),
     "grp": SchemeSpec(
         lambda result: GRPPrefetcher(result.hint_table, variable_regions=True),
         hinted=True,
         variable_regions=True,
+        engine=GRPPrefetcher,
+        summary="guided region prefetching, variable regions (GRP/Var)",
     ),
     "grp-fix": SchemeSpec(
         lambda result: GRPPrefetcher(result.hint_table,
                                      variable_regions=False),
         hinted=True,
         variable_regions=False,
+        engine=GRPPrefetcher,
+        summary="GRP with fixed-size regions only (GRP/Fix)",
     ),
     # Section 3.3.3's alternate indirect encoding: a base-setting
     # instruction per loop plus an indirect hint bit on the b[i] loads.
@@ -81,16 +115,46 @@ SCHEMES = {
         hinted=True,
         variable_regions=True,
         indirect_mode="hintbit",
+        engine=GRPPrefetcher,
+        summary="GRP with the hint-bit indirect encoding (Section 3.3.3)",
+    ),
+    # Literature-derived challengers (ROADMAP item 4): a Gaze-style
+    # spatial-footprint engine and a dependence-based pointer chaser.
+    "gaze": SchemeSpec(
+        lambda result: GazePrefetcher(),
+        engine=GazePrefetcher,
+        summary="Gaze-style per-PC region footprints with temporal replay",
+    ),
+    "chase": SchemeSpec(
+        lambda result: ChasePrefetcher(),
+        engine=ChasePrefetcher,
+        summary="dependence-based pointer chasing down linked structures",
     ),
     # Feedback-directed variants (repro.adapt): the static engines under
     # an epoch-based runtime throttle.  srp-adaptive needs no hints at
     # all — the point of comparison against hint-guided grp.
-    "srp-adaptive": SchemeSpec(lambda result: AdaptiveSRPPrefetcher()),
+    "srp-adaptive": SchemeSpec(
+        lambda result: AdaptiveSRPPrefetcher(),
+        engine=AdaptiveSRPPrefetcher,
+        summary="SRP under the runtime feedback throttle (repro.adapt)",
+    ),
     "grp-adaptive": SchemeSpec(
         lambda result: AdaptiveGRPPrefetcher(result.hint_table,
                                              variable_regions=True),
         hinted=True,
         variable_regions=True,
+        engine=AdaptiveGRPPrefetcher,
+        summary="GRP with the feedback control plane layered on",
+    ),
+    "gaze-adaptive": SchemeSpec(
+        lambda result: AdaptiveGazePrefetcher(),
+        engine=AdaptiveGazePrefetcher,
+        summary="Gaze under the feedback throttle (replay-length capped)",
+    ),
+    "chase-adaptive": SchemeSpec(
+        lambda result: AdaptiveChasePrefetcher(),
+        engine=AdaptiveChasePrefetcher,
+        summary="pointer chasing under the feedback throttle",
     ),
 }
 

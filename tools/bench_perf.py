@@ -72,12 +72,14 @@ FLOOR_FRACTION = 0.25
 
 FULL_MATRIX = [
     ("ammp", "none"), ("ammp", "srp"), ("ammp", "grp"),
+    ("ammp", "chase"),
     ("mcf", "none"), ("mcf", "srp"), ("mcf", "grp"),
-    ("mcf", "srp-adaptive"),
+    ("mcf", "srp-adaptive"), ("mcf", "gaze"), ("mcf", "chase"),
     ("swim", "none"), ("swim", "srp"), ("swim", "grp"),
-    ("swim", "grp-adaptive"),
+    ("swim", "grp-adaptive"), ("swim", "gaze"),
 ]
-SMOKE_MATRIX = [("mcf", "srp"), ("swim", "grp"), ("mcf", "srp-adaptive")]
+SMOKE_MATRIX = [("mcf", "srp"), ("swim", "grp"), ("mcf", "srp-adaptive"),
+                ("swim", "gaze"), ("mcf", "chase")]
 
 #: Multi-core co-run cases: (workload list, scheme).  Each case rows
 #: both co-run backends — ``stepped`` (the per-event reference loop)

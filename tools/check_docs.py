@@ -1,8 +1,8 @@
-"""CI gate: docstring coverage across ``src/repro/``.
+"""CI gate: docstring coverage and scheme-doc freshness.
 
-Walks every module under the package with :mod:`ast` (no imports, so a
-module with a syntax error or heavy import side effects still gets
-checked) and enforces three thresholds:
+Part 1 walks every module under ``src/repro/`` with :mod:`ast` (no
+imports, so a module with a syntax error or heavy import side effects
+still gets checked) and enforces three thresholds:
 
 * **every module** has a docstring (coverage 1.0),
 * **every public class** has a docstring (coverage 1.0),
@@ -12,12 +12,22 @@ checked) and enforces three thresholds:
 
 Names starting with ``_`` are private and exempt, as are ``__init__``
 and the other dunders (their contract is the class docstring's job).
+
+Part 2 keeps the scheme documentation honest against the registry
+(:data:`repro.sim.runner.SCHEMES`):
+
+* ``docs/SCHEMES.md`` must match a fresh ``gen_scheme_docs`` render
+  byte for byte (regenerated in memory, never written),
+* every registered scheme name must appear in ``README.md``,
+* both CLIs must *derive* their scheme enumerations from the registry
+  (``sorted(SCHEMES)`` in the source), not restate them in prose.
+
 Exit status is nonzero on any violation, listing every offender so the
 fix is one pass.
 
 Usage::
 
-    python tools/check_docs.py            # check src/repro
+    python tools/check_docs.py            # docstrings + scheme docs
     python tools/check_docs.py --list     # also list undocumented funcs
 """
 
@@ -81,6 +91,62 @@ def scan_module(dotted, path):
     return rows
 
 
+def check_scheme_docs(repo):
+    """Scheme-doc freshness/derivation violations, as message strings."""
+    problems = []
+    sys.path.insert(0, os.path.join(repo, "tools"))
+    sys.path.insert(0, os.path.join(repo, "src"))
+    try:
+        import gen_scheme_docs
+        from repro.sim.runner import SCHEMES
+    finally:
+        sys.path.pop(0)
+        sys.path.pop(0)
+
+    # Freshness: the committed page must equal a fresh render.
+    committed_path = os.path.join(repo, "docs", "SCHEMES.md")
+    fresh = gen_scheme_docs.render()
+    if not os.path.exists(committed_path):
+        problems.append("docs/SCHEMES.md is missing — run "
+                        "`python tools/gen_scheme_docs.py`")
+    else:
+        with open(committed_path) as handle:
+            committed = handle.read()
+        if committed != fresh:
+            for i, (got, want) in enumerate(
+                    zip(committed.splitlines(), fresh.splitlines()), 1):
+                if got != want:
+                    problems.append(
+                        "docs/SCHEMES.md is stale (first diff at line %d:"
+                        " %r != %r) — run `python tools/gen_scheme_docs.py`"
+                        % (i, got[:60], want[:60]))
+                    break
+            else:
+                problems.append(
+                    "docs/SCHEMES.md is stale (length differs) — run "
+                    "`python tools/gen_scheme_docs.py`")
+
+    # README coverage: every registered scheme is mentioned by name.
+    with open(os.path.join(repo, "README.md")) as handle:
+        readme = handle.read()
+    for name in sorted(SCHEMES):
+        if "`%s`" % name not in readme:
+            problems.append("README.md never mentions scheme `%s` — its "
+                            "scheme list has drifted from the registry"
+                            % name)
+
+    # Derivation: the CLIs must build their scheme enumerations from the
+    # registry, not hand-maintained prose (source-pattern check).
+    for rel in (os.path.join("src", "repro", "sim", "__main__.py"),
+                os.path.join("src", "repro", "experiments", "__main__.py")):
+        with open(os.path.join(repo, rel)) as handle:
+            source = handle.read()
+        if "sorted(SCHEMES)" not in source:
+            problems.append("%s does not derive its scheme enumeration "
+                            "from sorted(SCHEMES)" % rel)
+    return problems
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser()
     parser.add_argument("--root", default=DEFAULT_ROOT,
@@ -114,10 +180,20 @@ def main(argv=None):
             for name in missing:
                 print("  undocumented %s: %s" % (kind, name))
 
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    scheme_problems = check_scheme_docs(repo)
+    if scheme_problems:
+        failed = True
+        for problem in scheme_problems:
+            print("scheme docs: %s" % problem)
+    else:
+        print("scheme docs: docs/SCHEMES.md fresh; README and CLIs track "
+              "the registry")
+
     if failed:
-        print("docstring check FAILED", file=sys.stderr)
+        print("docs check FAILED", file=sys.stderr)
         return 1
-    print("docstring check passed")
+    print("docs check passed")
     return 0
 
 

@@ -8,8 +8,12 @@ them through :func:`repro.report.export.runs_to_csv`, and asserts that
   multi-core co-run contributing one row per core tagged in the
   ``core``/``corun`` columns,
 * every run's metrics snapshot carries the expected sections and the
-  timeliness classification partitions the prefetch-fill count, and
-* the metrics survive a JSON + result-cache round trip losslessly.
+  timeliness classification partitions the prefetch-fill count,
+* the metrics survive a JSON + result-cache round trip losslessly, and
+* a miniature arena sweep exports a CSV whose header is exactly
+  :data:`repro.experiments.arena.ARENA_COLUMNS`, whose cells parse
+  under the declared types, and which survives a write/read round trip
+  (the leaderboard docs and golden-CSV tests key on that layout).
 
 Exit status is nonzero on any violation, so the CI step fails loudly the
 moment a column is renamed, dropped, or reordered.
@@ -37,7 +41,14 @@ SWEEP = [
     ("swim", "srp"),
     ("swim", "grp"),
     ("mcf", "grp"),
+    ("swim", "gaze"),
+    ("mcf", "chase"),
 ]
+
+#: The miniature arena sweep the CSV-schema check runs (kept tiny; the
+#: full 18-workload arena is an experiment, not a CI gate).
+ARENA_BENCHMARKS = ["swim", "mcf"]
+ARENA_SCHEMES = ["none", "grp", "gaze", "chase"]
 
 #: One multi-core co-run rides the same sweep: its result must export,
 #: round-trip, and carry per-core metrics just like single-core runs.
@@ -110,6 +121,72 @@ def check_round_trip(specs, runs):
             fail("%s: result-cache round trip is lossy" % specs[0].label())
 
 
+def check_arena_csv():
+    """The arena CSV layout: header, cell types, write/read round trip."""
+    import os
+
+    from repro.experiments.arena import (
+        ARENA_COLUMNS,
+        arena_rows,
+        read_arena_csv,
+        write_arena_csv,
+    )
+    from repro.experiments.common import ExperimentContext
+
+    ctx = ExperimentContext(limit_refs=REFS)
+    rows = arena_rows(ctx, benchmarks=ARENA_BENCHMARKS,
+                      schemes=ARENA_SCHEMES)
+    expected = len(ARENA_BENCHMARKS) * len(ARENA_SCHEMES)
+    if len(rows) != expected:
+        fail("arena: expected %d rows, got %d" % (expected, len(rows)))
+    floats = ("ipc", "cpi", "speedup", "traffic_ratio", "coverage",
+              "accuracy", "pollution_per_kref", "timeliness")
+    ints = ("pollution_misses", "timely", "late")
+    flags = ("frontier_cov_traffic", "frontier_cpi_pollution")
+    for row in rows:
+        if tuple(row) != ARENA_COLUMNS:
+            fail("arena row keys drifted:\n  expected %r\n  got      %r"
+                 % (ARENA_COLUMNS, tuple(row)))
+        label = "%s/%s" % (row["workload"], row["scheme"])
+        for key in floats:
+            if row[key] is not None and not isinstance(row[key], float):
+                fail("arena %s: %s should be float/None, got %r"
+                     % (label, key, row[key]))
+        for key in ints:
+            if row[key] is not None and not isinstance(row[key], int):
+                fail("arena %s: %s should be int/None, got %r"
+                     % (label, key, row[key]))
+        for key in flags:
+            if row[key] not in (0, 1):
+                fail("arena %s: %s should be 0/1, got %r"
+                     % (label, key, row[key]))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "arena.csv")
+        write_arena_csv(path, rows)
+        back = read_arena_csv(path)
+        if len(back) != len(rows):
+            fail("arena CSV round trip lost rows (%d != %d)"
+                 % (len(back), len(rows)))
+        for row, raw in zip(rows, back):
+            rebuilt = {
+                key: "" if row[key] is None else str(row[key])
+                for key in ARENA_COLUMNS
+            }
+            if rebuilt != raw:
+                fail("arena CSV round trip drifted for %s/%s:\n"
+                     "  wrote %r\n  read  %r"
+                     % (row["workload"], row["scheme"], rebuilt, raw))
+    # Per-workload, exactly the frontier rows are flagged and every
+    # workload has at least one seat per pair ('none' anchors both).
+    for bench in ARENA_BENCHMARKS:
+        mine = [row for row in rows if row["workload"] == bench]
+        for flag in flags:
+            if not any(row[flag] for row in mine):
+                fail("arena %s: no scheme on the %s frontier"
+                     % (bench, flag))
+    return len(rows)
+
+
 def main():
     specs = [RunSpec.create(bench, scheme, limit_refs=REFS)
              for bench, scheme in SWEEP]
@@ -123,8 +200,9 @@ def main():
         for core_stats in getattr(stats, "cores", [stats]):
             check_metrics(core_stats)
     check_round_trip(specs, runs)
-    print("metrics schema check passed: %d runs, %d columns"
-          % (len(runs), len(SUMMARY_COLUMNS)))
+    arena_cells = check_arena_csv()
+    print("metrics schema check passed: %d runs, %d columns, "
+          "%d arena cells" % (len(runs), len(SUMMARY_COLUMNS), arena_cells))
 
 
 if __name__ == "__main__":
